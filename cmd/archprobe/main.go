@@ -1,0 +1,46 @@
+// Command archprobe runs only the assembler-syntax discovery phase (paper
+// §3.1): comment character, literal bases, register set, clobber template,
+// immediate ranges, and addressing-mode shapes.
+//
+// Usage:
+//
+//	archprobe -arch vax
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"srcg/internal/discovery"
+	"srcg/internal/gen"
+	"srcg/internal/lexer"
+
+	"srcg"
+)
+
+func main() {
+	arch := flag.String("arch", "x86", "target architecture")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	t, err := srcg.LookupTarget(*arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rig := discovery.NewRig(t)
+	samples, err := gen.Samples(gen.Config{Rand: rand.New(rand.NewSource(*seed))})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	model, err := lexer.Bootstrap(rig, samples)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "probe failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(lexer.DescribeModel(model))
+	fmt.Printf("cost: %s\n", rig.Stats)
+}

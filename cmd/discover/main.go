@@ -1,0 +1,66 @@
+// Command discover runs the architecture discovery unit against a
+// simulated target machine and prints the discovered model, the extracted
+// instruction semantics, and the synthesized BEG-style machine
+// description.
+//
+// Usage:
+//
+//	discover -arch sparc [-seed 1] [-full] [-beg] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srcg"
+)
+
+func main() {
+	arch := flag.String("arch", "x86", "target architecture (x86, sparc, mips, alpha, vax)")
+	seed := flag.Int64("seed", 1, "random seed for sample generation and mutations")
+	full := flag.Bool("full", false, "generate the complete operand-shape sample set")
+	ash := flag.Bool("signedshifts", false, "enable the signed-count shift primitive (extension beyond the paper; resolves the VAX ashl limitation)")
+	beg := flag.Bool("beg", false, "print the synthesized BEG machine description")
+	validate := flag.Bool("validate", false, "compile and run the validation suite through the generated back end")
+	dot := flag.String("dot", "", "print the data-flow graph of the named sample (e.g. int.div.b_c) in Graphviz format")
+	flag.Parse()
+
+	t, err := srcg.LookupTarget(*arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d, err := srcg.Discover(t, srcg.Options{Seed: *seed, Full: *full, SignedShifts: *ash})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "discovery failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(d.Report())
+	if d.SpecErr != nil {
+		fmt.Printf("synthesis: %v\n", d.SpecErr)
+	}
+	if *beg && d.Spec != nil {
+		fmt.Println()
+		fmt.Print(d.Spec.RenderBEG(d.Model))
+	}
+	if *dot != "" {
+		g, ok := d.Graphs[*dot]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no graph for sample %q\n", *dot)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(g.Dot())
+	}
+	if *validate && d.Spec != nil {
+		fmt.Println()
+		for _, r := range d.Validate(t, srcg.ValidationSuite) {
+			status := "ok"
+			if !r.OK {
+				status = fmt.Sprintf("FAIL (%v)", r.Err)
+			}
+			fmt.Printf("validate %-12s %s\n", r.Program, status)
+		}
+	}
+}

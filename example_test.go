@@ -1,0 +1,31 @@
+package srcg_test
+
+import (
+	"fmt"
+
+	"srcg"
+)
+
+// ExampleTargetNames lists the simulated machines available for discovery.
+func ExampleTargetNames() {
+	fmt.Println(srcg.TargetNames())
+	// Output: [alpha mips sparc vax x86]
+}
+
+// ExampleDiscover runs the complete pipeline against a simulated SPARC and
+// prints a few discovered facts (deterministic at a fixed seed).
+func ExampleDiscover() {
+	t := srcg.NewTarget("sparc")
+	d, err := srcg.Discover(t, srcg.Options{Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	r := d.Model.ImmRange["add:1"]
+	fmt.Printf("comment char %q, add immediates [%d,%d], %%g0 hardwired to %d\n",
+		d.Model.CommentChar, r[0], r[1], d.Model.Hardwired["%g0"])
+	fmt.Printf("samples solved: %d, failed: %d\n", len(d.Outcome.Solved), len(d.Outcome.Failed))
+	// Output:
+	// comment char "!", add immediates [-4096,4095], %g0 hardwired to 0
+	// samples solved: 35, failed: 0
+}

@@ -1,0 +1,51 @@
+// Extensions demonstrates the two knobs this reproduction adds beyond the
+// paper, both reachable through the public API:
+//
+//   - Options.SignedShifts admits a signed-count shift primitive to the
+//     reverse interpreter, making the VAX's bidirectional ashl — the
+//     limitation the paper reports in §5.2.3 — expressible (E19).
+//   - Options.NoVariants strips the extra hidden-value valuations from
+//     every sample, degrading discovery to the paper's literal
+//     single-Init observation model; the generated back end then
+//     miscompiles or refuses most of the validation suite (E20).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"srcg"
+)
+
+func run(t srcg.Target, opts srcg.Options) (solved, failed, valid int, gaps []string) {
+	d, err := srcg.Discover(t, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if d.Spec != nil {
+		gaps = d.Spec.Gaps
+		for _, r := range d.Validate(t, srcg.ValidationSuite) {
+			if r.OK {
+				valid++
+			}
+		}
+	}
+	return len(d.Outcome.Solved), len(d.Outcome.Failed), valid, gaps
+}
+
+func main() {
+	n := len(srcg.ValidationSuite)
+
+	fmt.Println("-- VAX: the paper's ashl limitation vs the SignedShifts extension")
+	s, f, v, g := run(srcg.NewTarget("vax"), srcg.Options{Seed: 1})
+	fmt.Printf("%-24s solved=%-3d failed=%-2d validated=%d/%d gaps=%v\n", "paper primitives", s, f, v, n, g)
+	s, f, v, g = run(srcg.NewTarget("vax"), srcg.Options{Seed: 1, SignedShifts: true})
+	fmt.Printf("%-24s solved=%-3d failed=%-2d validated=%d/%d gaps=%v\n", "with signed shifts", s, f, v, n, g)
+
+	fmt.Println("\n-- x86: why samples carry several hidden-value valuations")
+	s, f, v, _ = run(srcg.NewTarget("x86"), srcg.Options{Seed: 1})
+	fmt.Printf("%-24s solved=%-3d failed=%-2d validated=%d/%d\n", "with variants", s, f, v, n)
+	s, f, v, _ = run(srcg.NewTarget("x86"), srcg.Options{Seed: 1, NoVariants: true})
+	fmt.Printf("%-24s solved=%-3d failed=%-2d validated=%d/%d\n", "single valuation", s, f, v, n)
+}

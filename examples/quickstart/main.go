@@ -1,0 +1,27 @@
+// Quickstart: discover the architecture of a simulated x86 machine and
+// print everything the unit learned — assembler syntax, registers,
+// immediate ranges, and instruction semantics (paper Fig. 2 end to end).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"srcg"
+)
+
+func main() {
+	t := srcg.NewTarget("x86")
+	d, err := srcg.Discover(t, srcg.Options{Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(d.Report())
+	if d.Spec != nil {
+		fmt.Println("\nintermediate-operation coverage (instructions per operation):")
+		for op, n := range d.Spec.Coverage() {
+			fmt.Printf("  %-10s %d\n", op, n)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module srcg
+
+go 1.22

@@ -1,0 +1,32 @@
+package beg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenameLocalLabels(t *testing.T) {
+	in := []string{
+		"\tjmp Lret_Q",
+		"Lret_Q:",
+		"\tret",
+	}
+	out := renameLocalLabels(in, "_fib")
+	if out[0] != "\tjmp Lret_Q_fib" || out[1] != "Lret_Q_fib:" {
+		t.Errorf("renamed = %q", out)
+	}
+	// Lines without label definitions pass through untouched.
+	plain := renameLocalLabels([]string{"\tnop"}, "_x")
+	if plain[0] != "\tnop" {
+		t.Errorf("plain = %q", plain)
+	}
+	// A reference that merely contains the label as a substring of a
+	// longer token must not be rewritten.
+	tricky := renameLocalLabels([]string{"L1:", "\tjmp L12", "\tjmp L1"}, "_f")
+	if !strings.Contains(tricky[1], "L12") || strings.Contains(tricky[1], "L12_f") {
+		t.Errorf("substring label corrupted: %q", tricky)
+	}
+	if tricky[2] != "\tjmp L1_f" {
+		t.Errorf("reference not renamed: %q", tricky)
+	}
+}

@@ -1,0 +1,154 @@
+package cc
+
+// File is one parsed translation unit.
+type File struct {
+	Decls []Decl
+}
+
+// Decl is a top-level declaration: a variable declaration (possibly extern)
+// or a function definition/prototype.
+type Decl interface{ decl() }
+
+// VarDecl declares one or more variables: `int a, *p = ..., b = 5;`.
+// At file scope initializers must be constant; inside functions they are
+// lowered to assignments.
+type VarDecl struct {
+	Extern bool
+	Vars   []VarSpec
+}
+
+// VarSpec is one declarator within a VarDecl.
+type VarSpec struct {
+	Name    string
+	Pointer bool
+	Init    Expr // may be nil
+}
+
+// FuncDecl is a function definition or an extern prototype (Body == nil).
+type FuncDecl struct {
+	Name   string
+	Void   bool // declared `void f(...)`; otherwise returns int
+	Params []Param
+	Body   *Block // nil for prototypes
+}
+
+// Param is a function parameter (from ANSI or K&R style parameter lists).
+type Param struct {
+	Name    string
+	Pointer bool
+}
+
+func (*VarDecl) decl()  {}
+func (*FuncDecl) decl() {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is `{ ... }`; it may contain declarations followed by statements
+// (mini-C allows them interleaved, like C89 compilers in practice did for
+// the paper's samples: `int b=5,c=6,a=b+c;`).
+type Block struct {
+	Items []Stmt
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is `if (Cond) Then [else Else]`.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is `while (Cond) Body`.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// GotoStmt is `goto Label;`.
+type GotoStmt struct {
+	Label string
+}
+
+// LabeledStmt is `Label: Stmt`.
+type LabeledStmt struct {
+	Label string
+	Stmt  Stmt
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	X Expr // may be nil
+}
+
+// EmptyStmt is `;`.
+type EmptyStmt struct{}
+
+func (*Block) stmt()       {}
+func (*DeclStmt) stmt()    {}
+func (*ExprStmt) stmt()    {}
+func (*IfStmt) stmt()      {}
+func (*WhileStmt) stmt()   {}
+func (*GotoStmt) stmt()    {}
+func (*LabeledStmt) stmt() {}
+func (*ReturnStmt) stmt()  {}
+func (*EmptyStmt) stmt()   {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+}
+
+// StrLit is a string literal (only valid as a call argument, e.g. printf).
+type StrLit struct {
+	Val string
+}
+
+// IdentExpr references a variable.
+type IdentExpr struct {
+	Name string
+}
+
+// UnaryExpr is `-x`, `~x`, `!x`, `*p`, or `&x` (Op is the operator lexeme).
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinaryExpr is a binary operation (Op is the operator lexeme).
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+}
+
+// AssignExpr is `lhs = rhs` (lhs must be an identifier or a dereference).
+type AssignExpr struct {
+	LHS Expr
+	RHS Expr
+}
+
+// CallExpr is `name(args...)`.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*IntLit) expr()     {}
+func (*StrLit) expr()     {}
+func (*IdentExpr) expr()  {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*AssignExpr) expr() {}
+func (*CallExpr) expr()   {}

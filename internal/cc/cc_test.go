@@ -1,0 +1,343 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"srcg/internal/ir"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`main(){int b=5,c=6,a=b+c;}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.String())
+	}
+	got := strings.Join(texts, " ")
+	want := "main ( ) { int b = 5 , c = 6 , a = b + c ; } EOF"
+	if got != want {
+		t.Errorf("Lex tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLexHexAndComments(t *testing.T) {
+	toks, err := Lex("/* c1 */ int a = 0x1F; // tail\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[3].Kind != Int || toks[3].Val != 31 {
+		t.Errorf("hex literal = %v, want 31", toks[3])
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex(`printf("%i\n", a);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != Str || toks[2].Text != "%i\n" {
+		t.Errorf("string literal = %v", toks[2])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"int a = @;", `"unterminated`, "/* unterminated", `"bad \q"`, "int a = 0x;"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseSimpleBinary(t *testing.T) {
+	u, err := CompileUnit(`main(){int b=5,c=6,a=b+c;}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := u.Func("main")
+	if !ok {
+		t.Fatal("missing main")
+	}
+	if len(fn.Locals) != 3 {
+		t.Fatalf("locals = %d, want 3", len(fn.Locals))
+	}
+	if len(fn.Body) != 3 {
+		t.Fatalf("stmts = %d, want 3", len(fn.Body))
+	}
+	got := fn.Body[2].String()
+	want := "Store(Addr(a), Add(Load(Addr(b)), Load(Addr(c))))"
+	if got != want {
+		t.Errorf("third stmt = %s, want %s", got, want)
+	}
+}
+
+func TestParseConditional(t *testing.T) {
+	u, err := CompileUnit(`main(){int b=5,c=6,a=7; if (b<c) a=8;}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	var hasBranch bool
+	for _, s := range fn.Body {
+		if s.String() == "BranchGE(Load(Addr(b)), Load(Addr(c)), .L1)" {
+			hasBranch = true
+		}
+	}
+	if !hasBranch {
+		t.Errorf("missing negated branch; body:\n%s", dumpBody(fn.Body))
+	}
+}
+
+func TestParseKRFunction(t *testing.T) {
+	src := `
+int z1,z2,z3;
+void Init(n,o,p)
+int *n,*o,*p;
+{
+	z1=z2=z3=1;
+	*n=313;
+	*o=109;
+}`
+	u, err := CompileUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := u.Func("Init")
+	if !ok {
+		t.Fatal("missing Init")
+	}
+	if len(fn.Params) != 3 || fn.Params[0] != "n" {
+		t.Fatalf("params = %v", fn.Params)
+	}
+	if len(u.Globals) != 3 {
+		t.Fatalf("globals = %v", u.Globals)
+	}
+	var storeThroughPtr bool
+	for _, s := range fn.Body {
+		if s.String() == "Store(Load(Addr(n)), Const(313))" {
+			storeThroughPtr = true
+		}
+	}
+	if !storeThroughPtr {
+		t.Errorf("missing store through pointer; body:\n%s", dumpBody(fn.Body))
+	}
+}
+
+func TestParsePaperHarness(t *testing.T) {
+	src := `
+extern int z1,z2,z3,z4,z5,z6;
+extern void Init();
+main() {
+	int a, b, c;
+	Init(&a, &b, &c);
+	if (z1) goto Begin;
+	if (z2) goto End;
+	if (z3) goto Begin;
+	if (z4) goto End;
+	if (z5) goto Begin;
+	if (z6) goto End;
+Begin:
+	a = b + c;
+End:
+	printf("%i\n", a);
+	exit(0);
+}`
+	u, err := CompileUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := u.Func("main")
+	if !ok {
+		t.Fatal("missing main")
+	}
+	labels := map[string]int{}
+	var branchesToBegin int
+	for _, s := range fn.Body {
+		if s.Kind == ir.SLabel {
+			labels[s.Target]++
+		}
+		// `if (zN) goto Begin;` lowers to a conditional branch around an
+		// unconditional goto — the same shape as the paper's VAX output
+		// (jeql L1 / jbr Begin).
+		if s.Kind == ir.SGoto && s.Target == "Begin" {
+			branchesToBegin++
+		}
+	}
+	if labels["Begin"] != 1 || labels["End"] != 1 {
+		t.Errorf("labels = %v", labels)
+	}
+	if branchesToBegin != 3 {
+		t.Errorf("branches to Begin = %d, want 3", branchesToBegin)
+	}
+	if len(u.Strings) != 1 || u.Strings[0].Value != "%i\n" {
+		t.Errorf("strings = %v", u.Strings)
+	}
+	if len(u.Externs) != 7 {
+		t.Errorf("externs = %v", u.Externs)
+	}
+}
+
+func TestParseCallAssignment(t *testing.T) {
+	u, err := CompileUnit(`main(){int b=5,a; a=P(b);}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	got := fn.Body[len(fn.Body)-1].String()
+	want := "Store(Addr(a), Call(P, Load(Addr(b))))"
+	if got != want {
+		t.Errorf("stmt = %s, want %s", got, want)
+	}
+}
+
+func TestParseWhile(t *testing.T) {
+	u, err := CompileUnit(`main(){int i=0,s=0; while (i<10) { s = s + i; i = i + 1; } printf("%i\n", s);}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	if len(fn.Body) < 6 {
+		t.Fatalf("body too short:\n%s", dumpBody(fn.Body))
+	}
+}
+
+func TestParseChainedAssign(t *testing.T) {
+	u, err := CompileUnit(`main(){int a,b,c; a=b=c=1; printf("%i\n",a);}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	var stores int
+	for _, s := range fn.Body {
+		if s.Kind == ir.SStore {
+			stores++
+		}
+	}
+	if stores != 3 {
+		t.Errorf("stores = %d, want 3\n%s", stores, dumpBody(fn.Body))
+	}
+}
+
+func TestParseShortCircuit(t *testing.T) {
+	u, err := CompileUnit(`main(){int a=1,b=2,c=0; if (a<b && b<3) c=1; if (a>b || b>1) c=c+2; printf("%i\n",c);}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.Func("main"); !ok {
+		t.Fatal("missing main")
+	}
+}
+
+func TestParseNegativeLiteralFold(t *testing.T) {
+	u, err := CompileUnit(`main(){int a; a = -1;}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	got := fn.Body[0].String()
+	if got != "Store(Addr(a), Const(-1))" {
+		t.Errorf("stmt = %s", got)
+	}
+}
+
+func TestParseAllBinaryOps(t *testing.T) {
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"}
+	for _, op := range ops {
+		src := "main(){int b=34117,c=109,a=b" + op + "c; printf(\"%i\\n\",a);}"
+		if _, err := CompileUnit(src); err != nil {
+			t.Errorf("op %q: %v", op, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"main(){",
+		"main(){int;}",
+		"42;",
+		"main(){a = ;}",
+		"main(){if (a) }",
+		"extern void f() {}",
+		"void a;",
+		"main(){goto;}",
+		"main(){1 = 2;}",
+		"main(){int a = &5;}",
+	}
+	for _, src := range bad {
+		if _, err := CompileUnit(src); err == nil {
+			t.Errorf("CompileUnit(%q): expected error", src)
+		}
+	}
+}
+
+func TestLowerUnsupportedValueContext(t *testing.T) {
+	// ! and && have no value-producing lowering in mini-C.
+	for _, src := range []string{"main(){int a,b; a = !b;}", "main(){int a,b; a = (a<b) && (b<a);}"} {
+		if _, err := CompileUnit(src); err == nil {
+			t.Errorf("CompileUnit(%q): expected error", src)
+		}
+	}
+}
+
+func dumpBody(body []*ir.Stmt) string {
+	var sb strings.Builder
+	for _, s := range body {
+		sb.WriteString("  " + s.String() + "\n")
+	}
+	return sb.String()
+}
+
+func TestLowerIfElse(t *testing.T) {
+	u, err := CompileUnit(`main(){int a,b=1; if (b==1) a=10; else a=20; printf("%i\n",a);}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	var gotos, labels int
+	for _, s := range fn.Body {
+		switch s.Kind {
+		case ir.SGoto:
+			gotos++
+		case ir.SLabel:
+			labels++
+		}
+	}
+	if gotos != 1 || labels != 2 {
+		t.Errorf("if/else lowering: gotos=%d labels=%d\n%s", gotos, labels, dumpBody(fn.Body))
+	}
+}
+
+func TestLowerPointerDeref(t *testing.T) {
+	u, err := CompileUnit(`main(){int a,*p; p = &a; a = *p + 1;}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	var derefLoad bool
+	for _, s := range fn.Body {
+		if s.Kind == ir.SStore && s.Val != nil &&
+			strings.Contains(s.Val.String(), "Load(Load(Addr(p)))") {
+			derefLoad = true
+		}
+	}
+	if !derefLoad {
+		t.Errorf("deref load missing:\n%s", dumpBody(fn.Body))
+	}
+}
+
+func TestContainsCall(t *testing.T) {
+	u, err := CompileUnit(`main(){int a,b; a = b + P(1);}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := u.Func("main")
+	last := fn.Body[len(fn.Body)-1]
+	if !last.Val.ContainsCall() {
+		t.Error("ContainsCall should see the nested call")
+	}
+	if last.Val.Kids[0].ContainsCall() {
+		t.Error("the left operand has no call")
+	}
+}

@@ -1,0 +1,216 @@
+package cc
+
+import (
+	"strings"
+)
+
+// Lex tokenizes mini-C source. It returns the token stream (terminated by an
+// EOF token) or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	l := &clexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type clexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *clexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *clexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *clexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *clexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(startLine, startCol, "unterminated comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '#':
+			// Preprocessor lines (#include "init.h") are ignored: the
+			// toolchain driver splices headers before lexing.
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func (l *clexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Text: word, Line: line, Col: col}, nil
+		}
+		return Token{Kind: Ident, Text: word, Line: line, Col: col}, nil
+	case c >= '0' && c <= '9':
+		return l.lexInt(line, col)
+	case c == '"':
+		return l.lexStr(line, col)
+	}
+	for _, op := range punct2 {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.advance()
+			l.advance()
+			return Token{Kind: Punct, Text: op, Line: line, Col: col}, nil
+		}
+	}
+	if strings.ContainsRune("+-*/%&|^~!<>=(){},;:", rune(c)) {
+		l.advance()
+		return Token{Kind: Punct, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, errf(line, col, "unexpected character %q", c)
+}
+
+func (l *clexer) lexInt(line, col int) (Token, error) {
+	var v int64
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		digits := 0
+		for l.pos < len(l.src) {
+			d, ok := hexVal(l.peek())
+			if !ok {
+				break
+			}
+			v = v*16 + int64(d)
+			digits++
+			l.advance()
+		}
+		if digits == 0 {
+			return Token{}, errf(line, col, "malformed hex literal")
+		}
+	} else {
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			v = v*10 + int64(l.peek()-'0')
+			l.advance()
+		}
+	}
+	return Token{Kind: Int, Val: v, Line: line, Col: col}, nil
+}
+
+func (l *clexer) lexStr(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, errf(line, col, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: Str, Text: sb.String(), Line: line, Col: col}, nil
+		case '\\':
+			if l.pos >= len(l.src) {
+				return Token{}, errf(line, col, "unterminated string literal")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				return Token{}, errf(l.line, l.col, "unsupported escape \\%c", e)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func hexVal(c byte) (int, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10, true
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,395 @@
+package cc
+
+import (
+	"fmt"
+
+	"srcg/internal/ir"
+)
+
+// Lower translates a parsed translation unit into intermediate code. It is
+// deliberately non-optimizing: like the early-90s `cc` compilers the paper
+// interrogates, it performs no constant folding, no propagation, and no dead
+// code elimination, so the Generator's anti-optimization harness (paper
+// Fig. 3) behaves exactly as described.
+func Lower(f *File) (*ir.Unit, error) {
+	lo := &lowerer{
+		unit:    &ir.Unit{},
+		globals: map[string]bool{},
+	}
+	// First pass: collect file-scope names so identifier lowering can
+	// distinguish locals from globals.
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			for _, v := range d.Vars {
+				lo.globals[v.Name] = true
+				if d.Extern {
+					lo.unit.Externs = append(lo.unit.Externs, v.Name)
+				} else {
+					lo.unit.Globals = append(lo.unit.Globals, ir.Global{Name: v.Name})
+					if v.Init != nil {
+						return nil, fmt.Errorf("cc: initialized file-scope variable %q unsupported", v.Name)
+					}
+				}
+			}
+		case *FuncDecl:
+			if d.Body == nil {
+				lo.unit.Externs = append(lo.unit.Externs, d.Name)
+			}
+		}
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn, err := lo.lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		lo.unit.Funcs = append(lo.unit.Funcs, fn)
+	}
+	return lo.unit, nil
+}
+
+// CompileUnit parses and lowers source in one step.
+func CompileUnit(src string) (*ir.Unit, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+type lowerer struct {
+	unit      *ir.Unit
+	globals   map[string]bool
+	fn        *ir.Func
+	locals    map[string]bool
+	nextLabel int
+	nextStr   int
+}
+
+func (lo *lowerer) newLabel() string {
+	lo.nextLabel++
+	return fmt.Sprintf(".L%d", lo.nextLabel)
+}
+
+func (lo *lowerer) internString(s string) string {
+	for _, sl := range lo.unit.Strings {
+		if sl.Value == s {
+			return sl.Label
+		}
+	}
+	lo.nextStr++
+	label := fmt.Sprintf(".str%d", lo.nextStr)
+	lo.unit.Strings = append(lo.unit.Strings, ir.StringLit{Label: label, Value: s})
+	return label
+}
+
+func (lo *lowerer) lowerFunc(fd *FuncDecl) (*ir.Func, error) {
+	fn := &ir.Func{Name: fd.Name}
+	lo.fn = fn
+	lo.locals = map[string]bool{}
+	for i, p := range fd.Params {
+		fn.Params = append(fn.Params, p.Name)
+		fn.Locals = append(fn.Locals, ir.Local{Name: p.Name, IsParam: true, Index: i})
+		lo.locals[p.Name] = true
+	}
+	if err := lo.lowerStmt(fd.Body); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (lo *lowerer) emit(s *ir.Stmt) { lo.fn.Body = append(lo.fn.Body, s) }
+
+func (lo *lowerer) declareLocal(name string) error {
+	if lo.locals[name] {
+		return fmt.Errorf("cc: %s: redeclared local %q", lo.fn.Name, name)
+	}
+	lo.locals[name] = true
+	lo.fn.Locals = append(lo.fn.Locals, ir.Local{Name: name, Index: len(lo.fn.Locals)})
+	return nil
+}
+
+func (lo *lowerer) lowerStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		for _, item := range s.Items {
+			if err := lo.lowerStmt(item); err != nil {
+				return err
+			}
+		}
+	case *DeclStmt:
+		for _, v := range s.Decl.Vars {
+			if err := lo.declareLocal(v.Name); err != nil {
+				return err
+			}
+			if v.Init != nil {
+				val, err := lo.lowerExpr(v.Init)
+				if err != nil {
+					return err
+				}
+				lo.emit(&ir.Stmt{Kind: ir.SStore, Addr: ir.NewAddr(v.Name), Val: val})
+			}
+		}
+	case *ExprStmt:
+		return lo.lowerExprStmt(s.X)
+	case *IfStmt:
+		elseL := lo.newLabel()
+		if err := lo.branchIf(s.Cond, elseL, false); err != nil {
+			return err
+		}
+		if err := lo.lowerStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			endL := lo.newLabel()
+			lo.emit(&ir.Stmt{Kind: ir.SGoto, Target: endL})
+			lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: elseL})
+			if err := lo.lowerStmt(s.Else); err != nil {
+				return err
+			}
+			lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: endL})
+		} else {
+			lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: elseL})
+		}
+	case *WhileStmt:
+		headL := lo.newLabel()
+		exitL := lo.newLabel()
+		lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: headL})
+		if err := lo.branchIf(s.Cond, exitL, false); err != nil {
+			return err
+		}
+		if err := lo.lowerStmt(s.Body); err != nil {
+			return err
+		}
+		lo.emit(&ir.Stmt{Kind: ir.SGoto, Target: headL})
+		lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: exitL})
+	case *GotoStmt:
+		lo.emit(&ir.Stmt{Kind: ir.SGoto, Target: s.Label})
+	case *LabeledStmt:
+		lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: s.Label})
+		return lo.lowerStmt(s.Stmt)
+	case *ReturnStmt:
+		ret := &ir.Stmt{Kind: ir.SRet}
+		if s.X != nil {
+			v, err := lo.lowerExpr(s.X)
+			if err != nil {
+				return err
+			}
+			ret.Val = v
+		}
+		lo.emit(ret)
+	case *EmptyStmt:
+	default:
+		return fmt.Errorf("cc: unsupported statement %T", s)
+	}
+	return nil
+}
+
+// lowerExprStmt lowers a top-level expression statement: an assignment or a
+// call evaluated for side effects.
+func (lo *lowerer) lowerExprStmt(e Expr) error {
+	switch e := e.(type) {
+	case *AssignExpr:
+		_, err := lo.lowerAssign(e)
+		return err
+	case *CallExpr:
+		call, err := lo.lowerExpr(e)
+		if err != nil {
+			return err
+		}
+		lo.emit(&ir.Stmt{Kind: ir.SExpr, Val: call})
+		return nil
+	default:
+		v, err := lo.lowerExpr(e)
+		if err != nil {
+			return err
+		}
+		lo.emit(&ir.Stmt{Kind: ir.SExpr, Val: v})
+		return nil
+	}
+}
+
+// lowerAssign emits the store for an assignment and returns an expression
+// that re-reads the stored value (so chains like z1=z2=z3=1 work).
+func (lo *lowerer) lowerAssign(e *AssignExpr) (*ir.Node, error) {
+	rhs, err := lo.lowerExpr(e.RHS)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := lo.lvalue(e.LHS)
+	if err != nil {
+		return nil, err
+	}
+	lo.emit(&ir.Stmt{Kind: ir.SStore, Addr: addr, Val: rhs})
+	return ir.NewLoad(addr.Clone()), nil
+}
+
+// lvalue lowers an assignment target to an address expression.
+func (lo *lowerer) lvalue(e Expr) (*ir.Node, error) {
+	switch e := e.(type) {
+	case *IdentExpr:
+		return ir.NewAddr(e.Name), nil
+	case *UnaryExpr:
+		if e.Op == "*" {
+			return lo.lowerExpr(e.X) // the pointer's value is the address
+		}
+	}
+	return nil, fmt.Errorf("cc: invalid assignment target %T", e)
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Mod,
+	"&": ir.And, "|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.Shr,
+}
+
+var relOps = map[string]ir.Rel{
+	"==": ir.EQ, "!=": ir.NE, "<": ir.LT, "<=": ir.LE, ">": ir.GT, ">=": ir.GE,
+}
+
+func (lo *lowerer) lowerExpr(e Expr) (*ir.Node, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return ir.NewConst(e.Val), nil
+	case *StrLit:
+		return ir.NewAddr(lo.internString(e.Val)), nil
+	case *IdentExpr:
+		return ir.NewLoad(ir.NewAddr(e.Name)), nil
+	case *UnaryExpr:
+		switch e.Op {
+		case "-":
+			// Fold a negated literal so `a=7-b` style templates with
+			// negative constants assemble to one immediate.
+			if lit, ok := e.X.(*IntLit); ok {
+				return ir.NewConst(-lit.Val), nil
+			}
+			x, err := lo.lowerExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return ir.NewUn(ir.Neg, x), nil
+		case "~":
+			x, err := lo.lowerExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return ir.NewUn(ir.Not, x), nil
+		case "*":
+			x, err := lo.lowerExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return ir.NewLoad(x), nil
+		case "&":
+			id, ok := e.X.(*IdentExpr)
+			if !ok {
+				return nil, fmt.Errorf("cc: & requires a variable operand")
+			}
+			return ir.NewAddr(id.Name), nil
+		}
+		return nil, fmt.Errorf("cc: unary %q only supported in conditions", e.Op)
+	case *BinaryExpr:
+		if op, ok := binOps[e.Op]; ok {
+			x, err := lo.lowerExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			y, err := lo.lowerExpr(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			return ir.NewBin(op, x, y), nil
+		}
+		return nil, fmt.Errorf("cc: operator %q only supported in conditions", e.Op)
+	case *AssignExpr:
+		return lo.lowerAssign(e)
+	case *CallExpr:
+		call := ir.NewCall(e.Name)
+		for _, a := range e.Args {
+			v, err := lo.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			call.Kids = append(call.Kids, v)
+		}
+		return call, nil
+	}
+	return nil, fmt.Errorf("cc: unsupported expression %T", e)
+}
+
+// branchIf lowers a condition: it branches to target when the condition's
+// truth equals whenTrue, falling through otherwise. Short-circuit operators
+// and negation are handled by recursion; plain expressions compare != 0.
+func (lo *lowerer) branchIf(cond Expr, target string, whenTrue bool) error {
+	switch e := cond.(type) {
+	case *BinaryExpr:
+		if rel, ok := relOps[e.Op]; ok {
+			x, err := lo.lowerExpr(e.X)
+			if err != nil {
+				return err
+			}
+			y, err := lo.lowerExpr(e.Y)
+			if err != nil {
+				return err
+			}
+			if !whenTrue {
+				rel = rel.Negate()
+			}
+			lo.emit(&ir.Stmt{Kind: ir.SBranch, Rel: rel, A: x, B: y, Target: target})
+			return nil
+		}
+		switch e.Op {
+		case "&&":
+			if whenTrue {
+				// both must hold: fail past, then test second
+				failL := lo.newLabel()
+				if err := lo.branchIf(e.X, failL, false); err != nil {
+					return err
+				}
+				if err := lo.branchIf(e.Y, target, true); err != nil {
+					return err
+				}
+				lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: failL})
+				return nil
+			}
+			if err := lo.branchIf(e.X, target, false); err != nil {
+				return err
+			}
+			return lo.branchIf(e.Y, target, false)
+		case "||":
+			if whenTrue {
+				if err := lo.branchIf(e.X, target, true); err != nil {
+					return err
+				}
+				return lo.branchIf(e.Y, target, true)
+			}
+			okL := lo.newLabel()
+			if err := lo.branchIf(e.X, okL, true); err != nil {
+				return err
+			}
+			if err := lo.branchIf(e.Y, target, false); err != nil {
+				return err
+			}
+			lo.emit(&ir.Stmt{Kind: ir.SLabel, Target: okL})
+			return nil
+		}
+	case *UnaryExpr:
+		if e.Op == "!" {
+			return lo.branchIf(e.X, target, !whenTrue)
+		}
+	}
+	// Plain expression: compare against zero.
+	v, err := lo.lowerExpr(cond)
+	if err != nil {
+		return err
+	}
+	rel := ir.NE
+	if !whenTrue {
+		rel = ir.EQ
+	}
+	lo.emit(&ir.Stmt{Kind: ir.SBranch, Rel: rel, A: v, B: ir.NewConst(0), Target: target})
+	return nil
+}

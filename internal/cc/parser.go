@@ -1,0 +1,488 @@
+package cc
+
+// Parse lexes and parses one translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == Punct && t.Text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		t := p.cur()
+		return errf(t.Line, t.Col, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.Kind != Ident {
+		return "", errf(t.Line, t.Col, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != EOF {
+		d, err := p.topDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, d)
+	}
+	return f, nil
+}
+
+// topDecl parses one top-level declaration. Accepted forms:
+//
+//	extern int a, b;          extern void Init();
+//	int a, b = 3;             int P(int x) { ... }
+//	main() { ... }            void Init(n,o,p) int *n,*o,*p; { ... }
+func (p *parser) topDecl() (Decl, error) {
+	extern := false
+	if p.cur().Kind == KwExtern {
+		p.pos++
+		extern = true
+	}
+	void := false
+	switch p.cur().Kind {
+	case KwInt:
+		p.pos++
+	case KwVoid:
+		p.pos++
+		void = true
+	case Ident:
+		// implicit-int function definition: main() {...}
+	default:
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "expected declaration, found %s", t)
+	}
+
+	// A pointer declarator here means a variable declaration.
+	if p.isPunct("*") {
+		return p.finishVarDecl(extern)
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("(") {
+		return p.funcDecl(name, void, extern)
+	}
+	if void {
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "void variable %q", name)
+	}
+	return p.finishVarDeclNamed(extern, name)
+}
+
+func (p *parser) finishVarDecl(extern bool) (Decl, error) {
+	ptr := p.accept("*")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Extern: extern}
+	if err := p.varSpecs(d, name, ptr); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) finishVarDeclNamed(extern bool, name string) (Decl, error) {
+	d := &VarDecl{Extern: extern}
+	if err := p.varSpecs(d, name, false); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// varSpecs parses the rest of a declarator list beginning with the already
+// consumed first declarator (name, ptr), through the terminating semicolon.
+func (p *parser) varSpecs(d *VarDecl, firstName string, firstPtr bool) error {
+	name, ptr := firstName, firstPtr
+	for {
+		spec := VarSpec{Name: name, Pointer: ptr}
+		if p.accept("=") {
+			e, err := p.assignExpr()
+			if err != nil {
+				return err
+			}
+			spec.Init = e
+		}
+		d.Vars = append(d.Vars, spec)
+		if p.accept(",") {
+			ptr = p.accept("*")
+			var err error
+			name, err = p.expectIdent()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		return p.expect(";")
+	}
+}
+
+func (p *parser) funcDecl(name string, void, extern bool) (Decl, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Name: name, Void: void}
+	// Parameter list: empty, ANSI (`int a, int *b`), `void`, or K&R names.
+	krNames := []string{}
+	if !p.isPunct(")") {
+		if p.cur().Kind == KwVoid && p.toks[p.pos+1].Kind == Punct && p.toks[p.pos+1].Text == ")" {
+			p.pos++ // f(void)
+		} else if p.cur().Kind == KwInt {
+			for {
+				if p.cur().Kind != KwInt {
+					t := p.cur()
+					return nil, errf(t.Line, t.Col, "expected 'int' in parameter list, found %s", t)
+				}
+				p.pos++
+				ptr := p.accept("*")
+				pn, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				fd.Params = append(fd.Params, Param{Name: pn, Pointer: ptr})
+				if !p.accept(",") {
+					break
+				}
+			}
+		} else {
+			for {
+				pn, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				krNames = append(krNames, pn)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if extern {
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		for _, n := range krNames {
+			fd.Params = append(fd.Params, Param{Name: n})
+		}
+		return fd, nil
+	}
+	if p.accept(";") { // non-extern prototype
+		for _, n := range krNames {
+			fd.Params = append(fd.Params, Param{Name: n})
+		}
+		return fd, nil
+	}
+	// K&R parameter declarations between ')' and '{'.
+	krTypes := map[string]Param{}
+	for p.cur().Kind == KwInt {
+		p.pos++
+		for {
+			ptr := p.accept("*")
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			krTypes[pn] = Param{Name: pn, Pointer: ptr}
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range krNames {
+		if t, ok := krTypes[n]; ok {
+			fd.Params = append(fd.Params, t)
+		} else {
+			fd.Params = append(fd.Params, Param{Name: n}) // default int
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.isPunct("}") {
+		if p.cur().Kind == EOF {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Items = append(b.Items, s)
+	}
+	p.pos++ // consume '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == KwInt:
+		p.pos++
+		d, err := p.finishVarDecl(false)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d.(*VarDecl)}, nil
+	case t.Kind == KwIf:
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.cur().Kind == KwElse {
+			p.pos++
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case t.Kind == KwWhile:
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case t.Kind == KwGoto:
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &GotoStmt{Label: name}, nil
+	case t.Kind == KwReturn:
+		p.pos++
+		if p.accept(";") {
+			return &ReturnStmt{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: e}, nil
+	case p.isPunct("{"):
+		return p.block()
+	case p.isPunct(";"):
+		p.pos++
+		return &EmptyStmt{}, nil
+	case t.Kind == Ident && p.toks[p.pos+1].Kind == Punct && p.toks[p.pos+1].Text == ":":
+		p.pos += 2
+		inner, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &LabeledStmt{Label: t.Text, Stmt: inner}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	lhs, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("=") {
+		switch lhs.(type) {
+		case *IdentExpr, *UnaryExpr:
+		default:
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "invalid assignment target")
+		}
+		p.pos++
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// binary operator precedence levels, low to high.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range precLevels[level] {
+			if p.isPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: matched, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	for _, op := range []string{"-", "~", "!", "*", "&"} {
+		if p.isPunct(op) {
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: op, X: x}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == Int:
+		p.pos++
+		return &IntLit{Val: t.Val}, nil
+	case t.Kind == Str:
+		p.pos++
+		return &StrLit{Val: t.Text}, nil
+	case t.Kind == Ident:
+		p.pos++
+		if p.accept("(") {
+			call := &CallExpr{Name: t.Text}
+			if !p.isPunct(")") {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &IdentExpr{Name: t.Text}, nil
+	case p.isPunct("("):
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+}

@@ -1,0 +1,82 @@
+// Package cc implements the mini-C front end used by the simulated native
+// compilers of every target machine. The accepted subset covers exactly the
+// programs the paper's Generator emits (§3): int variables and pointers,
+// separate translation units with extern declarations, K&R and ANSI
+// function definitions, if/goto/while, integer arithmetic, calls, and
+// printf/exit.
+package cc
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int
+	Str
+	Punct // operators and punctuation; the Text field holds the lexeme
+	KwInt
+	KwVoid
+	KwExtern
+	KwIf
+	KwElse
+	KwGoto
+	KwWhile
+	KwReturn
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Int: "integer", Str: "string", Punct: "punctuation",
+	KwInt: "'int'", KwVoid: "'void'", KwExtern: "'extern'", KwIf: "'if'",
+	KwElse: "'else'", KwGoto: "'goto'", KwWhile: "'while'", KwReturn: "'return'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "void": KwVoid, "extern": KwExtern, "if": KwIf,
+	"else": KwElse, "goto": KwGoto, "while": KwWhile, "return": KwReturn,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // lexeme for Ident/Punct; decoded contents for Str
+	Val  int64  // Int only
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Int:
+		return fmt.Sprintf("%d", t.Val)
+	case Str:
+		return fmt.Sprintf("%q", t.Text)
+	case EOF:
+		return "EOF"
+	default:
+		return t.Text
+	}
+}
+
+// Error is a front-end diagnostic with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

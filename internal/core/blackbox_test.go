@@ -1,0 +1,45 @@
+package core
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBlackBoxDiscipline enforces the DESIGN.md rule: no discovery-side
+// package may import a concrete target implementation — the unit sees
+// machines only through the target.Toolchain interface, exactly as the
+// paper's system sees machines only through cc/as/ld/rsh.
+func TestBlackBoxDiscipline(t *testing.T) {
+	discoverySide := []string{
+		"gen", "lexer", "mutate", "dfg", "extract", "synth", "core",
+		"discovery", "sem", "enquire", "beg",
+	}
+	for _, pkg := range discoverySide {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", pkg, e.Name(), err)
+			}
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(path, "srcg/internal/target/") {
+					t.Errorf("%s/%s imports %s: discovery-side code must stay behind the toolchain interface",
+						pkg, e.Name(), path)
+				}
+			}
+		}
+	}
+}

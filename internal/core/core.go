@@ -1,0 +1,314 @@
+// Package core orchestrates the architecture discovery unit end to end
+// (paper Fig. 2): Generator → Lexer → Preprocessor → Extractor →
+// Synthesizer, against a target reachable only through its toolchain.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/extract"
+	"srcg/internal/gen"
+	"srcg/internal/lexer"
+	"srcg/internal/mutate"
+	"srcg/internal/synth"
+	"srcg/internal/target"
+)
+
+// Options configures a discovery run.
+type Options struct {
+	Seed    int64
+	Full    bool // use the complete §3 shape set
+	Weights extract.Weights
+	Budget  int // reverse-interpreter candidate budget per sample (0 = default)
+	// SignedShifts enables the ash-primitive extension (beyond the
+	// paper): the reverse interpreter may use a signed-count shift,
+	// resolving the VAX ashl limitation of §5.2.3.
+	SignedShifts bool
+	// NoVariants strips the extra hidden-value valuations from every
+	// sample — an ablation knob (E20). Single-valuation samples are what
+	// the paper literally describes; without the variants, conditional
+	// samples lose their dead branch to redundancy elimination and
+	// value-symmetric misinterpretations slip through.
+	NoVariants bool
+}
+
+// constantExpect reports whether every valuation of s expects the same
+// output — a degenerate sample that cannot pin value-dependent semantics.
+func constantExpect(s *discovery.Sample) bool {
+	vals := s.Valuations()
+	if len(vals) < 2 {
+		return false // a single valuation carries no variance information
+	}
+	for _, v := range vals[1:] {
+		if v.Expect != vals[0].Expect {
+			return false
+		}
+	}
+	return true
+}
+
+// Discovery is the complete result of analyzing one target.
+type Discovery struct {
+	Rig      *discovery.Rig
+	Model    *discovery.Model
+	Samples  []*discovery.Sample
+	Analyses map[string]*mutate.Analysis
+	Slots    dfg.Slots
+	Graphs   map[string]*dfg.Graph
+	Matches  []*extract.MatchResult
+	Ext      *extract.Extractor
+	Outcome  extract.Outcome
+	Engine   *mutate.Engine
+	Spec     *synth.Spec
+	SpecErr  error // non-fatal synthesis failure ("almost correct" specs)
+	// Skipped samples (preprocessing failures), with reasons.
+	Skipped map[string]string
+}
+
+// Discover runs the full pipeline up to semantic extraction.
+func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
+	if opts.Weights == (extract.Weights{}) {
+		opts.Weights = extract.DefaultWeights
+	}
+	rig := discovery.NewRig(tc)
+	rnd := rand.New(rand.NewSource(opts.Seed))
+	samples, err := gen.Samples(gen.Config{Rand: rnd, Full: opts.Full})
+	if err != nil {
+		return nil, err
+	}
+	if opts.NoVariants {
+		for _, s := range samples {
+			s.Variants = nil
+		}
+	}
+	model, err := lexer.Bootstrap(rig, samples)
+	if err != nil {
+		return nil, err
+	}
+	d := &Discovery{
+		Rig:      rig,
+		Model:    model,
+		Samples:  samples,
+		Analyses: map[string]*mutate.Analysis{},
+		Graphs:   map[string]*dfg.Graph{},
+		Skipped:  map[string]string{},
+	}
+
+	engine := mutate.New(rig, model, rand.New(rand.NewSource(opts.Seed+1)))
+	d.Engine = engine
+	for _, s := range samples {
+		if s.Kind == discovery.PStress {
+			continue // register-pressure sample: lexer-only
+		}
+		if s.Kind == discovery.PBinary && constantExpect(s) {
+			// A payload whose expected output never varies (b>>b is 0 for
+			// every representable b; a-a, a^a, a%a likewise) cannot
+			// distinguish value-dependent interpretations, and mutation
+			// analysis on it degenerates: with the result insensitive to
+			// the inputs, the operand loads test as "redundant" and the
+			// region collapses. The full §3 shape set contains a handful
+			// of these; they carry no semantic signal and are skipped.
+			d.Skipped[s.Name] = "expected output is valuation-invariant"
+			continue
+		}
+		a, err := engine.Analyze(s)
+		if err != nil {
+			d.Skipped[s.Name] = err.Error()
+			continue
+		}
+		d.Analyses[s.Name] = a
+	}
+
+	slots, err := d.findSlots()
+	if err != nil {
+		return nil, err
+	}
+	d.Slots = slots
+
+	// Locate each sample's output-cell writer (needed so only genuine
+	// stores get memory-output ports in the data-flow graphs).
+	if constA, ok := d.Analyses["int.const.34117"]; ok {
+		for _, a := range d.Analyses {
+			engine.FindMemWriter(a, constA.Region, 34117)
+		}
+	}
+
+	// Hardwired-register detection (the paper's declared missing piece,
+	// §7.2, implemented here as an extension).
+	if a, ok := d.Analyses["int.move.b"]; ok {
+		model.Hardwired = engine.DetectHardwired(a)
+	}
+
+	for _, s := range samples {
+		a, ok := d.Analyses[s.Name]
+		if !ok {
+			continue
+		}
+		if a.AWriter < 0 {
+			// Nothing in the region observably writes the output cell:
+			// the payload is an identity (a = a & a) whose store mutation
+			// analysis legitimately eliminated. No semantic signal.
+			d.Skipped[s.Name] = "payload has no observable effect"
+			delete(d.Analyses, s.Name)
+			continue
+		}
+		g, err := dfg.Build(model, a, slots)
+		if err != nil {
+			d.Skipped[s.Name] = err.Error()
+			continue
+		}
+		d.Graphs[s.Name] = g
+	}
+
+	// Graph matching feeds the M component of the likelihood.
+	for _, s := range samples {
+		if g, ok := d.Graphs[s.Name]; ok {
+			if m := extract.Match(g); m != nil {
+				d.Matches = append(d.Matches, m)
+			}
+		}
+	}
+
+	d.Ext = extract.New(model.WordBits, opts.Weights, extract.MBoosts(d.Matches), &rig.Stats)
+	d.Ext.SignedShifts = opts.SignedShifts
+	if opts.Budget > 0 {
+		d.Ext.Budget = opts.Budget
+	}
+	d.Outcome = d.Ext.SolveAll(d.ExtractionGraphs())
+
+	// Synthesize the machine description (§6).
+	byName := map[string]*discovery.Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	solved := map[string]bool{}
+	for _, n := range d.Outcome.Solved {
+		solved[n] = true
+	}
+	spec, err := synth.Synthesize(synth.Input{
+		Rig:      rig,
+		Model:    model,
+		Engine:   engine,
+		Samples:  byName,
+		Analyses: d.Analyses,
+		Slots:    slots,
+		Solved:   solved,
+	})
+	if err != nil {
+		d.SpecErr = err
+	}
+	d.Spec = spec
+	return d, nil
+}
+
+// ExtractionGraphs selects the graphs the Extractor works on: every
+// analyzed sample except calls to arbitrary procedures (P, P2), which have
+// no primitive semantics and exist for convention discovery.
+func (d *Discovery) ExtractionGraphs() []*dfg.Graph {
+	var graphs []*dfg.Graph
+	for _, s := range d.Samples {
+		g, ok := d.Graphs[s.Name]
+		if !ok {
+			continue
+		}
+		if s.Kind == discovery.PCall && !isPrimitiveCall(g) {
+			continue
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs
+}
+
+// isPrimitiveCall reports whether a call sample's target is a millicode
+// arithmetic routine (SPARC .mul/.div/.rem) rather than a user procedure.
+func isPrimitiveCall(g *dfg.Graph) bool {
+	for _, st := range g.Steps {
+		if st.Target != "" && strings.HasPrefix(st.Target, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// findSlots binds the sample variables a, b, c to their memory addresses
+// using the single-variable samples: the constant sample's unique memory
+// operand is a's slot, the move sample adds b's, and a binary sample adds
+// c's (§5.2.1's address-binding trick).
+func (d *Discovery) findSlots() (dfg.Slots, error) {
+	memOps := func(name string) []string {
+		a, ok := d.Analyses[name]
+		if !ok {
+			return nil
+		}
+		var out []string
+		seen := map[string]bool{}
+		for i, ins := range a.Region {
+			if a.Filler[i] {
+				continue
+			}
+			for _, arg := range ins.Args {
+				if arg.Kind == discovery.KMem || arg.Kind == discovery.KSym {
+					t := dfg.NormalizeAddr(arg.Text)
+					if !seen[t] {
+						seen[t] = true
+						out = append(out, t)
+					}
+				}
+			}
+		}
+		return out
+	}
+	var slots dfg.Slots
+	for _, s := range d.Samples {
+		if s.Kind == discovery.PConst {
+			if ops := memOps(s.Name); len(ops) == 1 {
+				slots.A = ops[0]
+				break
+			}
+		}
+	}
+	if slots.A == "" {
+		return slots, fmt.Errorf("core: could not bind variable a to a memory cell")
+	}
+	for _, t := range memOps("int.move.b") {
+		if t != slots.A {
+			slots.B = t
+		}
+	}
+	if slots.B == "" {
+		return slots, fmt.Errorf("core: could not bind variable b to a memory cell")
+	}
+	for _, t := range memOps("int.add.b_c") {
+		if t != slots.A && t != slots.B {
+			slots.C = t
+		}
+	}
+	if slots.C == "" {
+		return slots, fmt.Errorf("core: could not bind variable c to a memory cell")
+	}
+	return slots, nil
+}
+
+// Report renders a human-readable summary of the run.
+func (d *Discovery) Report() string {
+	var sb strings.Builder
+	sb.WriteString(lexer.DescribeModel(d.Model))
+	fmt.Fprintf(&sb, "slots:          a=%s b=%s c=%s\n", d.Slots.A, d.Slots.B, d.Slots.C)
+	fmt.Fprintf(&sb, "solved %d samples, failed %d, skipped %d\n",
+		len(d.Outcome.Solved), len(d.Outcome.Failed), len(d.Skipped))
+	sigs := make([]string, 0, len(d.Ext.Sems))
+	for sig := range d.Ext.Sems {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		fmt.Fprintf(&sb, "  %-28s %s\n", sig, d.Ext.Sems[sig])
+	}
+	fmt.Fprintf(&sb, "cost: %s\n", d.Rig.Stats)
+	return sb.String()
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"srcg/internal/target"
+	"srcg/internal/target/alpha"
+	"srcg/internal/target/mips"
+	"srcg/internal/target/sparc"
+	"srcg/internal/target/vax"
+	"srcg/internal/target/x86"
+)
+
+// TestSelfRetargetingValidation is the headline §7.2 experiment: the spec
+// synthesized for each architecture drives a generated back end; every
+// validation program must run correctly — except where the spec has a
+// documented gap (VAX variable shifts: the paper's own `ash` limitation).
+func TestSelfRetargetingValidation(t *testing.T) {
+	allowedGaps := map[string]map[string]bool{
+		"vax": {"logic": true}, // ashl's sign-directed count is beyond the Fig. 14 primitives
+	}
+	for _, tc := range []target.Toolchain{x86.New(), sparc.New(), mips.New(), alpha.New(), vax.New()} {
+		tc := tc
+		t.Run(tc.Name(), func(t *testing.T) {
+			d := discover(t, tc)
+			if d.SpecErr != nil {
+				t.Fatalf("synthesis: %v", d.SpecErr)
+			}
+			for _, r := range d.Validate(tc, ValidationSuite) {
+				if r.OK {
+					continue
+				}
+				if allowedGaps[tc.Name()][r.Program] {
+					// The documented gap must fail loudly in the back end,
+					// not silently miscompile.
+					if r.Err == nil || !strings.Contains(r.Err.Error(), "spec gap") {
+						t.Errorf("%s: expected a spec-gap error, got err=%v got=%q", r.Program, r.Err, r.Got)
+					}
+					continue
+				}
+				t.Errorf("%s: err=%v got=%q want=%q", r.Program, r.Err, r.Got, r.Want)
+			}
+		})
+	}
+}
+
+func TestSynthesizedSpecShape(t *testing.T) {
+	d := discover(t, sparc.New())
+	if d.SpecErr != nil {
+		t.Fatalf("synthesis: %v", d.SpecErr)
+	}
+	spec := d.Spec
+	// Fig. 15(e): SPARC multiplication is a software-call combination.
+	if spec.Ops == nil {
+		t.Fatal("no op templates")
+	}
+	mul := spec.Coverage()["Mul"]
+	if mul < 5 {
+		t.Errorf("SPARC Mul covered by %d instructions; want the .mul call sequence", mul)
+	}
+	// Fig. 15(d): branches are compare+branch combinations.
+	if spec.Coverage()["BranchEQ"] < 2 {
+		t.Errorf("SPARC BranchEQ = %d instructions, want a cmp+be combination", spec.Coverage()["BranchEQ"])
+	}
+	text := spec.RenderBEG(d.Model)
+	for _, want := range []string{"RULE Mul", "RULE BranchEQ", "call .mul", "REGISTERS"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered BEG spec missing %q", want)
+		}
+	}
+}
+
+func TestHardwiredRegisterDiscovery(t *testing.T) {
+	// E18: the paper's declared missing feature, implemented here.
+	cases := map[string]string{"sparc": "%g0", "mips": "$0", "alpha": "$31"}
+	for _, tc := range []target.Toolchain{sparc.New(), mips.New(), alpha.New()} {
+		d := discover(t, tc)
+		reg := cases[tc.Name()]
+		if v, ok := d.Model.Hardwired[reg]; !ok || v != 0 {
+			t.Errorf("%s: hardwired %s not discovered: %v", tc.Name(), reg, d.Model.Hardwired)
+		}
+	}
+	d := discover(t, x86.New())
+	if len(d.Model.Hardwired) != 0 {
+		t.Errorf("x86 has no hardwired registers, found %v", d.Model.Hardwired)
+	}
+}
+
+func TestChainRules(t *testing.T) {
+	// Fig. 15(b/c): the displacement mode with offset 0 coincides with the
+	// register-indirect mode on displacement machines.
+	for _, tc := range []target.Toolchain{x86.New(), mips.New(), alpha.New(), vax.New()} {
+		d := discover(t, tc)
+		if d.Spec == nil || len(d.Spec.Chains) == 0 {
+			t.Errorf("%s: no chain rules derived", tc.Name())
+		}
+	}
+}
+
+// TestBackendErrorPaths: the generated back end must refuse, not
+// miscompile, programs beyond the discovered conventions.
+func TestBackendErrorPaths(t *testing.T) {
+	d := discover(t, x86.New())
+	if d.SpecErr != nil {
+		t.Fatal(d.SpecErr)
+	}
+	bad := []Program{
+		{"too-many-params", `int f(int a, int b, int c) { return a; } main(){ printf("%i\n", f(1,2,3)); exit(0);}`},
+		{"no-exit", `main(){ printf("%i\n", 1); }`},
+		{"globals", `int z; main(){ z = 1; printf("%i\n", z); exit(0);}`},
+	}
+	for _, r := range d.Validate(x86.New(), bad) {
+		if r.OK {
+			t.Errorf("%s: expected a back-end refusal, got OK", r.Program)
+		}
+		if r.Err == nil {
+			t.Errorf("%s: expected an error", r.Program)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package discovery
+
+import (
+	"srcg/internal/asm"
+	"srcg/internal/target"
+)
+
+// Rig wraps a target toolchain with interaction counting. The objects
+// returned by Assemble are treated as opaque handles — discovery-side code
+// never inspects them, preserving the black-box discipline.
+type Rig struct {
+	TC    target.Toolchain
+	Stats Stats
+}
+
+// NewRig wraps a toolchain.
+func NewRig(tc target.Toolchain) *Rig { return &Rig{TC: tc} }
+
+// CompileAsm runs the target C compiler on one translation unit.
+func (r *Rig) CompileAsm(src string) (string, error) {
+	r.Stats.Compiles++
+	return r.TC.CompileC(src)
+}
+
+// Assemble runs the target assembler.
+func (r *Rig) Assemble(text string) (*asm.Unit, error) {
+	r.Stats.Assemblies++
+	return r.TC.Assemble(text)
+}
+
+// Accepts probes the assembler for acceptance of a code fragment.
+func (r *Rig) Accepts(text string) bool {
+	_, err := r.Assemble(text)
+	return err == nil
+}
+
+// LinkRun links pre-assembled units and executes the result, returning the
+// program's stdout. An execution fault is an error (mutation analyses treat
+// faults as "behaved differently").
+func (r *Rig) LinkRun(units ...*asm.Unit) (string, error) {
+	r.Stats.Links++
+	img, err := r.TC.Link(units)
+	if err != nil {
+		return "", err
+	}
+	r.Stats.Executions++
+	return r.TC.Execute(img)
+}
+
+// BuildRun compiles, assembles, links, and runs C translation units.
+func (r *Rig) BuildRun(sources ...string) (string, error) {
+	units := make([]*asm.Unit, 0, len(sources))
+	for _, src := range sources {
+		text, err := r.CompileAsm(src)
+		if err != nil {
+			return "", err
+		}
+		u, err := r.Assemble(text)
+		if err != nil {
+			return "", err
+		}
+		units = append(units, u)
+	}
+	return r.LinkRun(units...)
+}

@@ -1,0 +1,102 @@
+package discovery
+
+import "strings"
+
+// isWordByte reports whether c can be part of an identifier-like token.
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// ReplaceToken replaces every word-boundary occurrence of tok in text.
+// Register names carry their sigil ('%o0', '$9', 'r0'), so boundary checks
+// exclude preceding sigils to avoid replacing '$10' inside '$100'.
+func ReplaceToken(text, tok, repl string) string {
+	var sb strings.Builder
+	idx := 0
+	for {
+		i := strings.Index(text[idx:], tok)
+		if i < 0 {
+			sb.WriteString(text[idx:])
+			return sb.String()
+		}
+		i += idx
+		var before, after byte = ' ', ' '
+		if i > 0 {
+			before = text[i-1]
+		}
+		if i+len(tok) < len(text) {
+			after = text[i+len(tok)]
+		}
+		boundary := !isWordByte(before) && !isWordByte(after) && before != '$' && before != '%'
+		if boundary {
+			sb.WriteString(text[idx:i])
+			sb.WriteString(repl)
+			idx = i + len(tok)
+		} else {
+			sb.WriteString(text[idx : i+len(tok)])
+			idx = i + len(tok)
+		}
+	}
+}
+
+// HasToken reports whether tok occurs in text at a word boundary.
+func HasToken(text, tok string) bool {
+	return ReplaceToken(text, tok, "\x00") != text
+}
+
+// RenameReg renames register occurrences of `from` to `to` inside one
+// operand, updating both the text and the register list.
+func (a *Operand) RenameReg(from, to string) bool {
+	if !HasToken(a.Text, from) {
+		return false
+	}
+	a.Text = ReplaceToken(a.Text, from, to)
+	for i, r := range a.Regs {
+		if r == from {
+			a.Regs[i] = to
+		}
+	}
+	return true
+}
+
+// RenameReg renames register occurrences in every operand of the
+// instruction, reporting whether anything changed.
+func (i *Instr) RenameReg(from, to string) bool {
+	changed := false
+	for j := range i.Args {
+		if i.Args[j].RenameReg(from, to) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// UsesReg reports whether the register occurs in any operand.
+func (i *Instr) UsesReg(reg string) bool {
+	for _, a := range i.Args {
+		for _, r := range a.Regs {
+			if r == reg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Registers returns the distinct registers occurring in a region's
+// explicit operands, in first-occurrence order.
+func Registers(region []Instr) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ins := range region {
+		for _, a := range ins.Args {
+			for _, r := range a.Regs {
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Package enquire discovers arithmetic properties of the target machine by
+// running probe programs and observing their output — our stand-in for
+// Pemberton's `enquire` (paper §5.2.1: "We use enquire to gather
+// information about word-sizes on the target machine, and simulate
+// arithmetic in the correct precision").
+package enquire
+
+import (
+	"fmt"
+
+	"srcg/internal/discovery"
+)
+
+// WordBits discovers the width of `int` by forcing overflow: starting from
+// a hidden 1, repeated doubling must eventually wrap negative, and the
+// number of doublings reveals the width. Values are hidden behind the
+// harness's Init so no constant folding can cheat.
+func WordBits(rig *discovery.Rig) (int, error) {
+	// Count doublings until the value goes negative: int has count+1 bits.
+	src := `extern int z1,z2,z3,z4,z5,z6;
+extern void Init();
+main() {
+	int a, b, c;
+	Init(&a, &b, &c);
+	a = 0;
+	while (b > 0) {
+		b = b + b;
+		a = a + 1;
+	}
+	printf("%i\n", a);
+	exit(0);
+}`
+	initSrc := `int z1,z2,z3,z4,z5,z6;
+void Init(n,o,p)
+int *n,*o,*p;
+{
+	z1=z2=z3=1;
+	z4=z5=z6=1;
+	*n = 0;
+	*o = 1;
+	*p = 0;
+}`
+	out, err := rig.BuildRun(src, initSrc)
+	if err != nil {
+		return 0, fmt.Errorf("enquire: word-size probe failed: %w", err)
+	}
+	var doublings int
+	if _, err := fmt.Sscanf(out, "%d", &doublings); err != nil {
+		return 0, fmt.Errorf("enquire: unexpected probe output %q", out)
+	}
+	bits := doublings + 1
+	switch bits {
+	case 16, 32, 64:
+		return bits, nil
+	}
+	return 0, fmt.Errorf("enquire: implausible int width %d", bits)
+}
+
+// TruncDiv verifies that integer division truncates toward zero (every C
+// compiler the paper probed did); the reverse interpreter's div primitive
+// relies on it.
+func TruncDiv(rig *discovery.Rig) (bool, error) {
+	src := `extern int z1,z2,z3,z4,z5,z6;
+extern void Init();
+main() {
+	int a, b, c;
+	Init(&a, &b, &c);
+	a = b / c;
+	printf("%i\n", a);
+	exit(0);
+}`
+	initSrc := `int z1,z2,z3,z4,z5,z6;
+void Init(n,o,p)
+int *n,*o,*p;
+{
+	z1=z2=z3=1;
+	z4=z5=z6=1;
+	*n = 0;
+	*o = -7;
+	*p = 2;
+}`
+	out, err := rig.BuildRun(src, initSrc)
+	if err != nil {
+		return false, fmt.Errorf("enquire: division probe failed: %w", err)
+	}
+	return out == "-3\n", nil
+}

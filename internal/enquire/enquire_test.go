@@ -1,0 +1,37 @@
+package enquire
+
+import (
+	"testing"
+
+	"srcg/internal/discovery"
+	"srcg/internal/target"
+	"srcg/internal/target/alpha"
+	"srcg/internal/target/mips"
+	"srcg/internal/target/sparc"
+	"srcg/internal/target/vax"
+	"srcg/internal/target/x86"
+)
+
+func TestWordBitsAllTargets(t *testing.T) {
+	// All five machines implement 32-bit C ints (the Alpha's registers are
+	// 64-bit, but its longword arithmetic wraps at 32).
+	for _, tc := range []target.Toolchain{x86.New(), sparc.New(), mips.New(), alpha.New(), vax.New()} {
+		bits, err := WordBits(discovery.NewRig(tc))
+		if err != nil {
+			t.Errorf("%s: %v", tc.Name(), err)
+			continue
+		}
+		if bits != 32 {
+			t.Errorf("%s: bits = %d, want 32", tc.Name(), bits)
+		}
+	}
+}
+
+func TestTruncDiv(t *testing.T) {
+	for _, tc := range []target.Toolchain{x86.New(), vax.New()} {
+		ok, err := TruncDiv(discovery.NewRig(tc))
+		if err != nil || !ok {
+			t.Errorf("%s: trunc = %v, %v", tc.Name(), ok, err)
+		}
+	}
+}

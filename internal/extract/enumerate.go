@@ -1,0 +1,403 @@
+package extract
+
+import (
+	"sort"
+	"strings"
+
+	"srcg/internal/dfg"
+	"srcg/internal/sem"
+)
+
+// Weights are the coefficients of the likelihood function
+// L(S,I,R) = c1·M + c2·P + c3·G + c4·N of §5.2.2. DefaultWeights reflects
+// the paper's ordering: graph-match evidence weighs most, the mnemonic
+// heuristic least.
+type Weights struct {
+	M, P, G, N float64
+	// Size penalizes longer interpretations (the search favors the
+	// shortest workable semantics, §5.2.1).
+	Size float64
+}
+
+// DefaultWeights is the standard configuration.
+var DefaultWeights = Weights{M: 8, P: 3, G: 2, N: 1, Size: 0.5}
+
+// BlindWeights disables every heuristic (the E16 ablation baseline).
+var BlindWeights = Weights{Size: 0.5}
+
+// mnemonicHints maps substrings of instruction mnemonics to primitives
+// (the N function; "highly inaccurate, so given a low weighting").
+var mnemonicHints = []struct {
+	sub  string
+	prim string
+}{
+	{"add", sem.PAdd}, {"plus", sem.PAdd},
+	{"sub", sem.PSub}, {"min", sem.PSub},
+	{"mul", sem.PMul}, {"mlt", sem.PMul},
+	{"div", sem.PDiv},
+	{"rem", sem.PMod}, {"mod", sem.PMod},
+	{"and", sem.PAnd}, {"bic", sem.PAnd},
+	{"or", sem.POr}, {"bis", sem.POr},
+	{"xor", sem.PXor}, {"eor", sem.PXor},
+	{"sll", sem.PShl}, {"sal", sem.PShl}, {"shl", sem.PShl}, {"ashl", sem.PShl}, {"lsh", sem.PShl},
+	{"sra", sem.PShr}, {"sar", sem.PShr}, {"shr", sem.PShr},
+	{"ash", sem.PAsh},
+	{"neg", sem.PNeg},
+	{"not", sem.PNot}, {"com", sem.PNot},
+	{"mov", sem.PMove}, {"mv", sem.PMove},
+	{"ld", sem.PMove}, {"lw", sem.PMove}, {"li", sem.PMove},
+	{"st", sem.PMove}, {"sw", sem.PMove},
+	{"cmp", sem.PCmp}, {"tst", sem.PCmp},
+}
+
+// scored is a candidate semantics with its likelihood.
+type scored struct {
+	s     *sem.Sem
+	score float64
+}
+
+// enumCtx carries the likelihood context for one search.
+type enumCtx struct {
+	w       Weights
+	mboosts map[string]map[string]float64
+	// samplePrims are the primitives the current sample's payload makes
+	// likely (the P function: a=b*c boosts load/store/mul/add/shl).
+	samplePrims map[string]bool
+	bits        int
+	// ash enables the signed-count shift primitive (the SignedShifts
+	// extension beyond the paper; resolves the VAX ashl limitation).
+	ash bool
+}
+
+// binPrims is the binary-primitive vocabulary for this search.
+func (c *enumCtx) binPrims() []string {
+	if c.ash {
+		return append(append([]string(nil), binaryPrims...), sem.PAsh)
+	}
+	return binaryPrims
+}
+
+// primsFor returns the P-function primitive set for a sample operator.
+func primsFor(op string) map[string]bool {
+	out := map[string]bool{sem.PMove: true}
+	if p, ok := opPrim[op]; ok {
+		out[p] = true
+		// The paper's example: multiplication by constants often expands
+		// to shifts and adds.
+		if p == sem.PMul {
+			out[sem.PAdd] = true
+			out[sem.PShl] = true
+		}
+	}
+	switch op {
+	case "-u":
+		out[sem.PNeg] = true
+	case "~u":
+		out[sem.PNot] = true
+	}
+	return out
+}
+
+// sigTraits carries the G-function evidence from an instruction's shape
+// (§5.2.2: "if I takes an address argument it is quite likely to perform a
+// load or a store, and if it takes a label argument it probably does a
+// branch ... an instruction that returns no result is likely to perform
+// (some sort of) store operation").
+type sigTraits struct {
+	hasMemIn  bool
+	hasMemOut bool
+	isBranch  bool
+	noOuts    bool
+}
+
+func traitsOf(st *dfg.Step) sigTraits {
+	tr := sigTraits{isBranch: st.Target != "" && len(st.Outs) == 0, noOuts: len(st.Outs) == 0}
+	for _, p := range st.Ins {
+		if p.Kind == dfg.PMem {
+			tr.hasMemIn = true
+		}
+	}
+	for _, p := range st.Outs {
+		if p.Kind == dfg.PMem {
+			tr.hasMemOut = true
+		}
+	}
+	return tr
+}
+
+// treeScore computes the heuristic components for one tree. A bare leaf
+// (arg or load(arg)) is a move/load semantics and collects the move boost.
+func (c *enumCtx) treeScore(sig, mnemonic string, tr sigTraits, t *sem.Tree) float64 {
+	score := -c.w.Size * float64(t.Size())
+	if t.Prim == sem.PArg || (t.Prim == sem.PLoad && t.Kids[0].Prim == sem.PArg) {
+		if b, ok := c.mboosts[sig][sem.PMove]; ok {
+			score += c.w.M * b
+		}
+		if c.samplePrims[sem.PMove] {
+			score += c.w.P
+		}
+		// G: an instruction with a memory output is likely a store — the
+		// plain value-passing semantics.
+		if tr.hasMemOut && t.Prim == sem.PArg {
+			score += c.w.G
+		}
+		for _, h := range mnemonicHints {
+			if h.prim == sem.PMove && strings.Contains(mnemonic, h.sub) {
+				score += c.w.N
+				break
+			}
+		}
+	}
+	seen := map[string]bool{}
+	var walk func(*sem.Tree)
+	walk = func(n *sem.Tree) {
+		if !seen[n.Prim] {
+			seen[n.Prim] = true
+			if b, ok := c.mboosts[sig][n.Prim]; ok {
+				score += c.w.M * b
+			}
+			if c.samplePrims[n.Prim] {
+				score += c.w.P
+			}
+			// G: shape evidence.
+			if tr.hasMemIn && n.Prim == sem.PLoad {
+				score += c.w.G
+			}
+			if tr.isBranch && isRelPrim(n.Prim) {
+				score += c.w.G
+			}
+			if tr.noOuts && !tr.isBranch && n.Prim == sem.PCmp {
+				score += c.w.G
+			}
+			for _, h := range mnemonicHints {
+				if h.prim == n.Prim && strings.Contains(mnemonic, h.sub) {
+					score += c.w.N
+					break
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(t)
+	return score
+}
+
+func isRelPrim(p string) bool {
+	for _, r := range relPrims {
+		if p == r {
+			return true
+		}
+	}
+	return false
+}
+
+// leaves builds the wrapped input leaves for a step: memory ports load,
+// literal and register ports pass through, plus small-constant leaves.
+func leaves(st *dfg.Step, bits int) []*sem.Tree {
+	var out []*sem.Tree
+	for _, p := range st.Ins {
+		a := sem.Arg(p.Key())
+		if p.Kind == dfg.PMem {
+			out = append(out, sem.Load(a))
+		} else {
+			out = append(out, a)
+		}
+	}
+	out = append(out, sem.Lit(0), sem.Lit(1), sem.Lit(int64(bits-1)))
+	return out
+}
+
+var binaryPrims = []string{
+	sem.PAdd, sem.PSub, sem.PMul, sem.PDiv, sem.PMod,
+	sem.PAnd, sem.POr, sem.PXor, sem.PShl, sem.PShr,
+}
+
+var relPrims = []string{sem.PIsEQ, sem.PIsNE, sem.PIsLT, sem.PIsLE, sem.PIsGT, sem.PIsGE}
+
+// outCandidates enumerates value trees for one output port.
+func (c *enumCtx) outCandidates(st *dfg.Step, limit int) []*sem.Tree {
+	ls := leaves(st, c.bits)
+	nIn := len(st.Ins) // leaves beyond nIn are synthetic constants
+	var out []*sem.Tree
+	// Moves/loads (a bare leaf): input leaves only — constants as full
+	// semantics are covered by literal ports.
+	for i := 0; i < nIn; i++ {
+		out = append(out, ls[i])
+	}
+	// Unary.
+	for i := 0; i < nIn; i++ {
+		out = append(out, sem.Un(sem.PNeg, ls[i]), sem.Un(sem.PNot, ls[i]))
+	}
+	// Value comparisons (the Alpha's cmplt family).
+	for i := 0; i < nIn; i++ {
+		for j := 0; j < nIn; j++ {
+			if i == j {
+				continue
+			}
+			for _, r := range relPrims {
+				out = append(out, sem.Un(r, sem.Bin(sem.PCmp, ls[i], ls[j])))
+			}
+		}
+	}
+	// Binary over all ordered leaf pairs (synthetic constants allowed as
+	// second operands: shiftRight(x, 31) is the sign-extension idiom).
+	for _, p := range c.binPrims() {
+		for i := 0; i < nIn; i++ {
+			for j := range ls {
+				if i == j {
+					continue
+				}
+				out = append(out, sem.Bin(p, ls[i], ls[j]))
+			}
+			// Constant-first forms (7-b).
+			for j := nIn; j < len(ls); j++ {
+				out = append(out, sem.Bin(p, ls[j], ls[i]))
+			}
+		}
+	}
+	// Raw comparisons (condition-code producers: cmp, tstl).
+	for i := 0; i < nIn; i++ {
+		for j := 0; j < len(ls); j++ {
+			if i == j {
+				continue
+			}
+			out = append(out, sem.Bin(sem.PCmp, ls[i], ls[j]))
+		}
+	}
+	// Bit-clear/or-not idioms (VAX bicl3, Alpha ornot).
+	for _, p := range []string{sem.PAnd, sem.POr} {
+		for i := 0; i < nIn; i++ {
+			for j := 0; j < nIn; j++ {
+				if i == j {
+					continue
+				}
+				out = append(out, sem.Bin(p, ls[i], sem.Un(sem.PNot, ls[j])))
+			}
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// condCandidates enumerates branch conditions for a step with a target.
+func (c *enumCtx) condCandidates(st *dfg.Step) []*sem.Tree {
+	ls := leaves(st, c.bits)
+	nIn := len(st.Ins)
+	var out []*sem.Tree
+	// Condition-code-driven branches: isREL of a hidden input.
+	for i, p := range st.Ins {
+		if p.Kind == dfg.PHidden {
+			for _, r := range relPrims {
+				out = append(out, sem.Un(r, sem.Arg(st.Ins[i].Key())))
+			}
+		}
+	}
+	// Direct compare-and-branch (MIPS beq/bne/blt...).
+	for i := 0; i < nIn; i++ {
+		for j := 0; j < len(ls); j++ {
+			if i == j || (j < nIn && st.Ins[j].Kind == dfg.PHidden) || st.Ins[i].Kind == dfg.PHidden {
+				continue
+			}
+			for _, r := range relPrims {
+				out = append(out, sem.Un(r, sem.Bin(sem.PCmp, ls[i], ls[j])))
+			}
+		}
+	}
+	// Unconditional.
+	out = append(out, sem.Lit(1))
+	return out
+}
+
+// candidates enumerates complete Sem candidates for a step, sorted by
+// descending likelihood. Known (already fixed) trees for some output keys
+// may be supplied in partial; only the missing parts are enumerated.
+func (c *enumCtx) candidates(st *dfg.Step, partial *sem.Sem, perOut, total int) []scored {
+	mnemonic := strings.ToLower(st.Instr.Op)
+	tr := traitsOf(st)
+	type outList struct {
+		key   string
+		trees []scored
+	}
+	var lists []outList
+	seenKey := map[string]bool{}
+	for _, p := range st.Outs {
+		key := p.Key()
+		if seenKey[key] {
+			continue
+		}
+		seenKey[key] = true
+		if partial != nil && partial.Outs[key] != nil {
+			lists = append(lists, outList{key: key, trees: []scored{{s: &sem.Sem{Outs: map[string]*sem.Tree{key: partial.Outs[key]}}, score: 0}}})
+			continue
+		}
+		raw := c.outCandidates(st, 0)
+		trees := make([]scored, 0, len(raw))
+		for _, t := range raw {
+			trees = append(trees, scored{s: &sem.Sem{Outs: map[string]*sem.Tree{key: t}}, score: c.treeScore(st.Sig, mnemonic, tr, t)})
+		}
+		sort.SliceStable(trees, func(i, j int) bool { return trees[i].score > trees[j].score })
+		if perOut > 0 && len(trees) > perOut {
+			trees = trees[:perOut]
+		}
+		lists = append(lists, outList{key: key, trees: trees})
+	}
+	// Branch condition list (only for branch-like steps: a target and no
+	// value outputs).
+	isBranch := st.Target != "" && len(st.Outs) == 0
+	var conds []scored
+	if isBranch {
+		if partial != nil && partial.Cond != nil {
+			conds = []scored{{s: &sem.Sem{Cond: partial.Cond}, score: 0}}
+		} else {
+			for _, t := range c.condCandidates(st) {
+				conds = append(conds, scored{s: &sem.Sem{Cond: t}, score: c.treeScore(st.Sig, mnemonic, tr, t)})
+			}
+			sort.SliceStable(conds, func(i, j int) bool { return conds[i].score > conds[j].score })
+		}
+	}
+
+	// Cartesian combination, approximately score-ordered: lists are
+	// individually sorted; enumerate by rank-sum rounds.
+	combos := []scored{{s: &sem.Sem{Outs: map[string]*sem.Tree{}}, score: 0}}
+	grow := func(next []scored, isCond bool) {
+		var out []scored
+		for _, base := range combos {
+			for _, n := range next {
+				ns := &sem.Sem{Outs: map[string]*sem.Tree{}, Cond: base.s.Cond}
+				for k, v := range base.s.Outs {
+					ns.Outs[k] = v
+				}
+				if isCond {
+					ns.Cond = n.s.Cond
+				} else {
+					for k, v := range n.s.Outs {
+						ns.Outs[k] = v
+					}
+				}
+				out = append(out, scored{s: ns, score: base.score + n.score})
+				if total > 0 && len(out) >= total*4 {
+					break
+				}
+			}
+			if total > 0 && len(out) >= total*4 {
+				break
+			}
+		}
+		combos = out
+	}
+	for _, l := range lists {
+		grow(l.trees, false)
+	}
+	if isBranch {
+		grow(conds, true)
+	}
+	sort.SliceStable(combos, func(i, j int) bool { return combos[i].score > combos[j].score })
+	if total > 0 && len(combos) > total {
+		combos = combos[:total]
+	}
+	return combos
+}

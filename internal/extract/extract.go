@@ -1,0 +1,461 @@
+package extract
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/sem"
+)
+
+// Extractor runs the reverse interpretation search (§5.2.1–5.2.2): a
+// probabilistic best-first enumeration of semantic interpretations, sample
+// by sample, with already-fixed semantics carried forward (Fig. 13 solves
+// mul given lw/sw/d-mode already known).
+type Extractor struct {
+	Bits    int
+	W       Weights
+	MBoosts map[string]map[string]float64
+	// Budget bounds candidates tried per sample — the paper's timeout
+	// ("a time-out function interrupts the interpreter and the sample is
+	// discarded").
+	Budget int
+	Stats  *discovery.Stats
+	// SignedShifts admits the signed-count shift primitive (ash) to the
+	// candidate vocabulary. This is an extension beyond the paper: with it
+	// the VAX's bidirectional ashl — which the paper reports as unhandled
+	// (§5.2.3) — becomes expressible as one tree.
+	SignedShifts bool
+
+	Sems   map[string]*sem.Sem
+	solved []*dfg.Graph
+	all    []*dfg.Graph
+
+	// retractions counts conflict-driven un-commits (bounded to keep the
+	// search from oscillating).
+	retractions int
+
+	// Trace, when non-nil, receives search diagnostics.
+	Trace func(format string, args ...interface{})
+}
+
+// TraceHook, when set, is installed on extractors created by New (used by
+// debugging harnesses).
+var TraceHook func(format string, args ...interface{})
+
+// New creates an extractor with default settings.
+func New(bits int, w Weights, mboosts map[string]map[string]float64, stats *discovery.Stats) *Extractor {
+	return &Extractor{
+		Bits:    bits,
+		W:       w,
+		MBoosts: mboosts,
+		Budget:  30000,
+		Stats:   stats,
+		Sems:    map[string]*sem.Sem{},
+		Trace:   TraceHook,
+	}
+}
+
+// Outcome reports what happened to each sample.
+type Outcome struct {
+	Solved []string
+	Failed []string
+}
+
+// SolveAll processes all graphs, iterating until no further sample can be
+// solved. Samples whose search exhausts its budget are discarded, as in
+// the paper (§5.2.2). A sample that becomes fully decidable but evaluates
+// wrongly exposes a conflicting earlier interpretation (§5.2.1: samples
+// "will allow several conflicting interpretations"); its signatures are
+// retracted — bounded — and everything depending on them re-solves
+// jointly.
+func (x *Extractor) SolveAll(graphs []*dfg.Graph) Outcome {
+	remaining := append([]*dfg.Graph(nil), graphs...)
+	x.all = graphs
+	var out Outcome
+	for {
+		sort.SliceStable(remaining, func(i, j int) bool {
+			return len(x.missing(remaining[i])) < len(x.missing(remaining[j]))
+		})
+		progress := false
+		var next []*dfg.Graph
+		for _, g := range remaining {
+			switch x.solve(g) {
+			case solveOK:
+				out.Solved = append(out.Solved, g.Sample.Name)
+				x.solved = append(x.solved, g)
+				progress = true
+			case solveConflict:
+				if x.retract(g) {
+					progress = true
+					// Re-queue everything that was un-solved.
+					next = append(next, g)
+					var stillSolved []*dfg.Graph
+					kept := out.Solved[:0]
+					for _, sg := range x.solved {
+						if len(x.missing(sg)) > 0 {
+							next = append(next, sg)
+							continue
+						}
+						stillSolved = append(stillSolved, sg)
+						kept = append(kept, sg.Sample.Name)
+					}
+					x.solved = stillSolved
+					out.Solved = kept
+				} else {
+					next = append(next, g)
+				}
+			case solveRetry:
+				next = append(next, g)
+			case solveFail:
+				next = append(next, g) // keep for later passes; may untangle
+			}
+		}
+		remaining = next
+		if !progress {
+			break
+		}
+	}
+	for _, g := range remaining {
+		out.Failed = append(out.Failed, g.Sample.Name)
+		if x.Stats != nil {
+			x.Stats.Timeouts++
+		}
+	}
+	return out
+}
+
+// retract un-commits the semantics of every signature a conflicting sample
+// uses, so the conflict joins the next joint search. Bounded to avoid
+// oscillation.
+func (x *Extractor) retract(g *dfg.Graph) bool {
+	if x.retractions >= 24 {
+		return false
+	}
+	removed := false
+	for i := range g.Steps {
+		if _, ok := x.Sems[g.Steps[i].Sig]; ok {
+			delete(x.Sems, g.Steps[i].Sig)
+			removed = true
+		}
+	}
+	if removed {
+		x.retractions++
+		if x.Trace != nil {
+			x.Trace("retract: %s conflicts; its signatures re-open", g.Sample.Name)
+		}
+	}
+	return removed
+}
+
+type solveResult int
+
+const (
+	solveOK solveResult = iota
+	solveFail
+	solveRetry
+	solveConflict // fully decidable but evaluates wrongly
+)
+
+// need is one signature requiring (more) semantics for a graph.
+type need struct {
+	sig  string
+	step *dfg.Step
+}
+
+// missing lists the signatures of g that lack complete semantics.
+func (x *Extractor) missing(g *dfg.Graph) []need {
+	var out []need
+	seen := map[string]bool{}
+	for i := range g.Steps {
+		st := &g.Steps[i]
+		if seen[st.Sig] {
+			continue
+		}
+		s := x.Sems[st.Sig]
+		incomplete := s == nil
+		if s != nil {
+			for _, p := range st.Outs {
+				if s.Outs[p.Key()] == nil {
+					incomplete = true
+				}
+			}
+			if st.Target != "" && len(st.Outs) == 0 && s.Cond == nil {
+				incomplete = true
+			}
+		}
+		if incomplete {
+			seen[st.Sig] = true
+			out = append(out, need{sig: st.Sig, step: st})
+		}
+	}
+	return out
+}
+
+// solve attempts one sample.
+func (x *Extractor) solve(g *dfg.Graph) solveResult {
+	needs := x.missing(g)
+	if len(needs) == 0 {
+		ok, err := Run(g, x.Sems, x.Bits)
+		if ok && err == nil {
+			if x.Stats != nil {
+				x.Stats.SolvedByMatch++ // solved without new search
+			}
+			return solveOK
+		}
+		if err != nil {
+			// The committed semantics cannot even be evaluated on this
+			// graph. Before discarding, attempt a recovery search: the
+			// committed interpretation may be a special case of a more
+			// general one that covers both (the VAX ashl committed as a
+			// plain left shift by the positive-literal samples, where the
+			// signed-count shift explains the negative-literal ones too).
+			// Replacements must still satisfy every solved graph.
+			if len(needs) == 0 {
+				needs = x.allSigs(g)
+			}
+			if len(needs) <= 3 && x.search(g, needs, true) == solveOK {
+				return solveOK
+			}
+			return solveFail
+		}
+		return solveConflict
+	}
+	if len(needs) > 3 {
+		return solveRetry // too underconstrained this pass
+	}
+	return x.search(g, needs, false)
+}
+
+// allSigs lists every distinct signature of g as a need, complete or not —
+// the recovery search's working set.
+func (x *Extractor) allSigs(g *dfg.Graph) []need {
+	var out []need
+	seen := map[string]bool{}
+	for i := range g.Steps {
+		st := &g.Steps[i]
+		if seen[st.Sig] {
+			continue
+		}
+		seen[st.Sig] = true
+		out = append(out, need{sig: st.Sig, step: st})
+	}
+	return out
+}
+
+// search runs the best-first product enumeration over candidate
+// interpretations for the given needs and commits the first combination
+// that explains g and stays consistent with every decidable sample. With
+// fresh=true the enumeration ignores already-committed semantics for the
+// needs (recovery: a committed special case may need replacing by a more
+// general interpretation) — committed trees still participate via overlay
+// merging, where the fresh candidate wins per output key.
+func (x *Extractor) search(g *dfg.Graph, needs []need, fresh bool) solveResult {
+	ctx := &enumCtx{
+		w:           x.W,
+		mboosts:     x.MBoosts,
+		samplePrims: x.samplePrims(g.Sample),
+		bits:        x.Bits,
+		ash:         x.SignedShifts,
+	}
+	lists := make([][]scored, len(needs))
+	perNeed := 400
+	if len(needs) == 1 {
+		perNeed = 4000
+	}
+	for i, n := range needs {
+		partial := x.Sems[n.sig]
+		if fresh {
+			partial = nil
+		}
+		lists[i] = ctx.candidates(n.step, partial, 0, perNeed)
+		if len(lists[i]) == 0 {
+			return solveFail
+		}
+	}
+	// Best-first product search over the candidate lists.
+	h := &comboHeap{}
+	heap.Init(h)
+	start := make([]int, len(needs))
+	heap.Push(h, combo{idx: start, score: totalScore(lists, start)})
+	visited := map[string]bool{key(start): true}
+	budget := x.Budget
+	for h.Len() > 0 && budget > 0 {
+		c := heap.Pop(h).(combo)
+		budget--
+		if x.Stats != nil {
+			x.Stats.CandidatesTried++
+		}
+		trial := x.overlay(needs, lists, c.idx)
+		if x.Trace != nil && x.Budget-budget <= 8 {
+			ok, err := Run(g, trial, x.Bits)
+			x.Trace("%s try %v score=%.2f -> ok=%v err=%v", g.Sample.Name, c.idx, c.score, ok, err)
+			for i, n := range needs {
+				x.Trace("   %s = %s", n.sig, lists[i][c.idx[i]].s)
+			}
+		}
+		if ok, err := Run(g, trial, x.Bits); ok && err == nil && x.consistent(trial, needs) {
+			// Commit.
+			for i, n := range needs {
+				x.Sems[n.sig] = mergeSem(x.Sems[n.sig], lists[i][c.idx[i]].s)
+				if x.Trace != nil {
+					x.Trace("commit %s: %s = %s", g.Sample.Name, n.sig, x.Sems[n.sig])
+				}
+			}
+			if x.Stats != nil {
+				x.Stats.SolvedBySearch++
+			}
+			return solveOK
+		}
+		for d := range c.idx {
+			ni := append([]int(nil), c.idx...)
+			ni[d]++
+			if ni[d] >= len(lists[d]) || visited[key(ni)] {
+				continue
+			}
+			visited[key(ni)] = true
+			heap.Push(h, combo{idx: ni, score: totalScore(lists, ni)})
+		}
+	}
+	return solveFail
+}
+
+// samplePrims implements the P function for a sample. Loads and stores are
+// likely in every sample (§5.2.2's example boosts load/store/mul/add/shl
+// for a=b*c).
+func (x *Extractor) samplePrims(s *discovery.Sample) map[string]bool {
+	var out map[string]bool
+	switch s.Kind {
+	case discovery.PBinary:
+		out = primsFor(s.COp)
+	case discovery.PUnary:
+		out = primsFor(s.COp + "u")
+	case discovery.PCond:
+		out = map[string]bool{sem.PCmp: true, sem.PMove: true}
+	default:
+		out = map[string]bool{sem.PMove: true}
+	}
+	out[sem.PLoad] = true
+	if x.SignedShifts && (s.COp == "<<" || s.COp == ">>") {
+		out[sem.PAsh] = true
+	}
+	return out
+}
+
+// overlay builds a trial semantics map: fixed semantics plus this combo.
+func (x *Extractor) overlay(needs []need, lists [][]scored, idx []int) map[string]*sem.Sem {
+	trial := make(map[string]*sem.Sem, len(x.Sems)+len(needs))
+	for k, v := range x.Sems {
+		trial[k] = v
+	}
+	for i, n := range needs {
+		trial[n.sig] = mergeSem(trial[n.sig], lists[i][idx[i]].s)
+	}
+	return trial
+}
+
+// mergeSem combines a partial existing semantics with newly found trees.
+func mergeSem(base, add *sem.Sem) *sem.Sem {
+	out := &sem.Sem{Outs: map[string]*sem.Tree{}}
+	if base != nil {
+		for k, v := range base.Outs {
+			out.Outs[k] = v
+		}
+		out.Cond = base.Cond
+	}
+	if add != nil {
+		for k, v := range add.Outs {
+			out.Outs[k] = v
+		}
+		if add.Cond != nil {
+			out.Cond = add.Cond
+		}
+	}
+	return out
+}
+
+// consistent re-verifies every sample that uses any of the newly assigned
+// signatures AND is fully decidable under the trial semantics — solved or
+// not ("choosing new interpretations ... until every sample produces the
+// required result", §5.2; conflicts like mul(2,1) vs div(2,1) are §5.2.1).
+func (x *Extractor) consistent(trial map[string]*sem.Sem, needs []need) bool {
+	usesNeed := func(g *dfg.Graph) bool {
+		for i := range g.Steps {
+			for _, n := range needs {
+				if g.Steps[i].Sig == n.sig {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	decidable := func(g *dfg.Graph) bool {
+		for i := range g.Steps {
+			st := &g.Steps[i]
+			s := trial[st.Sig]
+			if s == nil {
+				return false
+			}
+			for _, p := range st.Outs {
+				if s.Outs[p.Key()] == nil {
+					return false
+				}
+			}
+			if st.Target != "" && len(st.Outs) == 0 && s.Cond == nil {
+				return false
+			}
+		}
+		return true
+	}
+	for _, g := range x.all {
+		if !usesNeed(g) || !decidable(g) {
+			continue
+		}
+		// Only a decidable-but-wrong *value* is counter-evidence. An
+		// evaluation error means the trial cannot even be interpreted on
+		// that graph — typically a structurally deficient degenerate
+		// sample (mod.a_a's a%a=0 masks the hi-register channel because 0
+		// is also the reset value) — and such samples are left to fail
+		// alone, as the paper discards unexplainable samples (§5.2.2).
+		if ok, err := Run(g, trial, x.Bits); !ok && err == nil {
+			if x.Trace != nil {
+				x.Trace("   inconsistent with %s", g.Sample.Name)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func totalScore(lists [][]scored, idx []int) float64 {
+	t := 0.0
+	for i, j := range idx {
+		t += lists[i][j].score
+	}
+	return t
+}
+
+func key(idx []int) string {
+	return fmt.Sprint(idx)
+}
+
+type combo struct {
+	idx   []int
+	score float64
+}
+
+type comboHeap []combo
+
+func (h comboHeap) Len() int            { return len(h) }
+func (h comboHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h comboHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *comboHeap) Push(x interface{}) { *h = append(*h, x.(combo)) }
+func (h *comboHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}

@@ -1,0 +1,153 @@
+package extract
+
+import (
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/sem"
+)
+
+// opPrim maps a sample's C operator to its primitive.
+var opPrim = map[string]string{
+	"+": sem.PAdd, "-": sem.PSub, "*": sem.PMul, "/": sem.PDiv, "%": sem.PMod,
+	"&": sem.PAnd, "|": sem.POr, "^": sem.PXor, "<<": sem.PShl, ">>": sem.PShr,
+}
+
+// MatchResult is the outcome of the §5.1 graph matching on one sample: the
+// node P where the operand paths converge (the instruction performing the
+// operation), the load-path instructions, and the store node Q.
+type MatchResult struct {
+	Sample string
+	OpPrim string   // primitive suggested for the P node
+	PSig   string   // signature at P
+	Loads  []string // signatures on the Pb/Pc paths
+	Moves  []string // signatures strictly between P and Q
+	QSig   string   // signature at Q (the store); may equal PSig
+}
+
+// Match performs graph matching for binary (and unary/move) samples. It
+// returns nil when the sample's structure does not fit the a = b ⊗ c
+// pattern the matcher understands — the reverse interpreter then works
+// unguided, exactly as in the paper.
+func Match(g *dfg.Graph) *MatchResult {
+	s := g.Sample
+	var wantPrim string
+	switch s.Kind {
+	case discovery.PBinary:
+		wantPrim = opPrim[s.COp]
+	default:
+		return nil
+	}
+	deps := g.Deps()
+	// Q: the step that stores into a's slot.
+	q := -1
+	for i, st := range g.Steps {
+		for _, o := range st.Outs {
+			if o.Kind == dfg.PMem && o.Addr == g.SlotA {
+				q = i
+			}
+		}
+	}
+	if q < 0 {
+		return nil
+	}
+	// P: the first step whose inputs depend on every sample variable the
+	// payload mentions.
+	needed := map[string]bool{}
+	for _, part := range splitShape(s.Shape) {
+		if part == "a" || part == "b" || part == "c" {
+			needed[part] = true
+		}
+	}
+	if len(needed) < 2 {
+		// Fewer than two operand paths: the paths-intersection analysis of
+		// §5.1 is undefined (the first load would masquerade as P). Only
+		// the store node is reported.
+		return &MatchResult{Sample: s.Name, QSig: g.Steps[q].Sig}
+	}
+	p := -1
+	for i := range g.Steps {
+		all := true
+		for v := range needed {
+			if !deps[i][v] {
+				all = false
+			}
+		}
+		if all {
+			p = i
+			break
+		}
+	}
+	if p < 0 || p > q {
+		return nil
+	}
+	res := &MatchResult{
+		Sample: s.Name,
+		OpPrim: wantPrim,
+		PSig:   g.Steps[p].Sig,
+		QSig:   g.Steps[q].Sig,
+	}
+	for i := 0; i < p; i++ {
+		res.Loads = append(res.Loads, g.Steps[i].Sig)
+	}
+	for i := p + 1; i < q; i++ {
+		res.Moves = append(res.Moves, g.Steps[i].Sig)
+	}
+	return res
+}
+
+func splitShape(shape string) []string {
+	var out []string
+	cur := ""
+	for _, r := range shape {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// MBoosts accumulates the M(S,I,R) evidence from all matched samples:
+// signature → primitive → weight.
+func MBoosts(results []*MatchResult) map[string]map[string]float64 {
+	boosts := map[string]map[string]float64{}
+	add := func(sig, prim string, w float64) {
+		if sig == "" || prim == "" {
+			return
+		}
+		if boosts[sig] == nil {
+			boosts[sig] = map[string]float64{}
+		}
+		if w > boosts[sig][prim] {
+			boosts[sig][prim] = w
+		}
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.PSig != "" && r.PSig != r.QSig {
+			add(r.PSig, r.OpPrim, 1.0)
+		}
+		if r.PSig == r.QSig && r.PSig != "" {
+			// CISC one-instruction form: the op and the store coincide.
+			add(r.PSig, r.OpPrim, 1.0)
+		}
+		for _, l := range r.Loads {
+			add(l, sem.PMove, 0.6)
+			add(l, sem.PLoad, 0.6)
+		}
+		for _, m := range r.Moves {
+			add(m, sem.PMove, 0.6)
+		}
+		if r.QSig != "" && r.QSig != r.PSig {
+			add(r.QSig, sem.PMove, 0.5)
+		}
+	}
+	return boosts
+}

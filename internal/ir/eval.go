@@ -1,0 +1,208 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Eval interprets a unit directly (32-bit integer semantics), returning the
+// program's stdout. It is the reference oracle against which generated
+// back ends are validated.
+func Eval(u *Unit) (string, error) {
+	ev := &evaluator{unit: u, out: &strings.Builder{}}
+	main, ok := u.Func("main")
+	if !ok {
+		return "", fmt.Errorf("ir: no main")
+	}
+	_, err := ev.call(main, nil)
+	if err != nil && err != errExit {
+		return "", err
+	}
+	return ev.out.String(), nil
+}
+
+var errExit = fmt.Errorf("ir: exit")
+
+type evaluator struct {
+	unit  *Unit
+	out   *strings.Builder
+	depth int
+	steps int
+}
+
+type frame struct {
+	vars map[string]int32
+}
+
+func (ev *evaluator) call(f *Func, args []int32) (int32, error) {
+	ev.depth++
+	if ev.depth > 10000 {
+		return 0, fmt.Errorf("ir: call depth exceeded")
+	}
+	defer func() { ev.depth-- }()
+	fr := &frame{vars: map[string]int32{}}
+	for i, p := range f.Params {
+		if i < len(args) {
+			fr.vars[p] = args[i]
+		}
+	}
+	labels := map[string]int{}
+	for i, s := range f.Body {
+		if s.Kind == SLabel {
+			labels[s.Target] = i
+		}
+	}
+	pc := 0
+	for pc < len(f.Body) {
+		ev.steps++
+		if ev.steps > 10_000_000 {
+			return 0, fmt.Errorf("ir: step budget exceeded")
+		}
+		s := f.Body[pc]
+		switch s.Kind {
+		case SStore:
+			if s.Addr.Op != Addr {
+				return 0, fmt.Errorf("ir: eval supports only direct variable stores")
+			}
+			v, err := ev.expr(fr, s.Val)
+			if err != nil {
+				return 0, err
+			}
+			fr.vars[s.Addr.Name] = v
+		case SBranch:
+			a, err := ev.expr(fr, s.A)
+			if err != nil {
+				return 0, err
+			}
+			b, err := ev.expr(fr, s.B)
+			if err != nil {
+				return 0, err
+			}
+			if s.Rel.Holds(int64(a), int64(b)) {
+				idx, ok := labels[s.Target]
+				if !ok {
+					return 0, fmt.Errorf("ir: undefined label %q", s.Target)
+				}
+				pc = idx
+				continue
+			}
+		case SGoto:
+			idx, ok := labels[s.Target]
+			if !ok {
+				return 0, fmt.Errorf("ir: undefined label %q", s.Target)
+			}
+			pc = idx
+			continue
+		case SLabel:
+			// no effect
+		case SExpr:
+			if _, err := ev.expr(fr, s.Val); err != nil {
+				return 0, err
+			}
+		case SRet:
+			if s.Val == nil {
+				return 0, nil
+			}
+			return ev.expr(fr, s.Val)
+		}
+		pc++
+	}
+	return 0, nil
+}
+
+func (ev *evaluator) expr(fr *frame, n *Node) (int32, error) {
+	switch n.Op {
+	case Const:
+		return int32(n.Value), nil
+	case Load:
+		if n.Kids[0].Op != Addr {
+			return 0, fmt.Errorf("ir: eval supports only direct variable loads")
+		}
+		return fr.vars[n.Kids[0].Name], nil
+	case Addr:
+		return 0, fmt.Errorf("ir: address of %q has no value in the evaluator", n.Name)
+	case Neg:
+		v, err := ev.expr(fr, n.Kids[0])
+		return -v, err
+	case Not:
+		v, err := ev.expr(fr, n.Kids[0])
+		return ^v, err
+	case Call:
+		return ev.callExpr(fr, n)
+	}
+	if n.Op.IsBinary() {
+		a, err := ev.expr(fr, n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		b, err := ev.expr(fr, n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case Add:
+			return a + b, nil
+		case Sub:
+			return a - b, nil
+		case Mul:
+			return a * b, nil
+		case Div:
+			if b == 0 {
+				return 0, fmt.Errorf("ir: division by zero")
+			}
+			return a / b, nil
+		case Mod:
+			if b == 0 {
+				return 0, fmt.Errorf("ir: division by zero")
+			}
+			return a % b, nil
+		case And:
+			return a & b, nil
+		case Or:
+			return a | b, nil
+		case Xor:
+			return a ^ b, nil
+		case Shl:
+			if b < 0 || b > 31 {
+				return 0, fmt.Errorf("ir: shift count %d", b)
+			}
+			return a << uint(b), nil
+		case Shr:
+			if b < 0 || b > 31 {
+				return 0, fmt.Errorf("ir: shift count %d", b)
+			}
+			return a >> uint(b), nil
+		}
+	}
+	return 0, fmt.Errorf("ir: unsupported expression %s", n)
+}
+
+func (ev *evaluator) callExpr(fr *frame, n *Node) (int32, error) {
+	switch n.Name {
+	case "printf":
+		if len(n.Kids) != 2 || n.Kids[0].Op != Addr {
+			return 0, fmt.Errorf("ir: eval printf needs (format, value)")
+		}
+		v, err := ev.expr(fr, n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(ev.out, "%d\n", v)
+		return 0, nil
+	case "exit":
+		return 0, errExit
+	}
+	callee, ok := ev.unit.Func(n.Name)
+	if !ok {
+		return 0, fmt.Errorf("ir: undefined function %q", n.Name)
+	}
+	args := make([]int32, len(n.Kids))
+	for i, k := range n.Kids {
+		v, err := ev.expr(fr, k)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	return ev.call(callee, args)
+}

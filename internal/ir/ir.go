@@ -1,0 +1,346 @@
+// Package ir defines the tree-shaped intermediate code shared by the mini-C
+// code generators and the BEG-style back-end generator.
+//
+// The instruction set deliberately mirrors the intermediate code of the
+// compiler "ac" in the paper (Collberg, PLDI'97, §6): simple arithmetic and
+// logical operators, explicit Load/Store, and high-level conditional
+// branches such as BranchEQ that a target may need to cover with a
+// *combination* of machine instructions (the Combiner's job).
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates expression operators.
+type Op int
+
+// Expression operators. Const carries Value; Addr and Call carry Name.
+const (
+	Const Op = iota // integer literal
+	Addr            // address of a named symbol (local, param, or global)
+	Load            // Kids[0] = address
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Neg
+	Not // bitwise complement
+	Call
+)
+
+var opNames = [...]string{
+	Const: "Const", Addr: "Addr", Load: "Load",
+	Add: "Add", Sub: "Sub", Mul: "Mul", Div: "Div", Mod: "Mod",
+	And: "And", Or: "Or", Xor: "Xor", Shl: "Shl", Shr: "Shr",
+	Neg: "Neg", Not: "Not", Call: "Call",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsBinary reports whether o is a two-operand arithmetic/logical operator.
+func (o Op) IsBinary() bool { return o >= Add && o <= Shr }
+
+// IsUnary reports whether o is a one-operand operator.
+func (o Op) IsUnary() bool { return o == Neg || o == Not }
+
+// Node is an expression tree node.
+type Node struct {
+	Op    Op
+	Value int64   // Const only
+	Name  string  // Addr and Call
+	Kids  []*Node // operands; Call arguments
+}
+
+// NewConst returns a Const node.
+func NewConst(v int64) *Node { return &Node{Op: Const, Value: v} }
+
+// NewAddr returns an Addr node for symbol name.
+func NewAddr(name string) *Node { return &Node{Op: Addr, Name: name} }
+
+// NewLoad returns a Load of the given address.
+func NewLoad(addr *Node) *Node { return &Node{Op: Load, Kids: []*Node{addr}} }
+
+// NewBin returns a binary operator node.
+func NewBin(op Op, a, b *Node) *Node { return &Node{Op: op, Kids: []*Node{a, b}} }
+
+// NewUn returns a unary operator node.
+func NewUn(op Op, a *Node) *Node { return &Node{Op: op, Kids: []*Node{a}} }
+
+// NewCall returns a Call node.
+func NewCall(name string, args ...*Node) *Node { return &Node{Op: Call, Name: name, Kids: args} }
+
+// String renders the tree in a compact prefix form, e.g.
+// "Store(Addr(a), Add(Load(Addr(b)), Const(5)))".
+func (n *Node) String() string {
+	if n == nil {
+		return "nil"
+	}
+	switch n.Op {
+	case Const:
+		return fmt.Sprintf("Const(%d)", n.Value)
+	case Addr:
+		return fmt.Sprintf("Addr(%s)", n.Name)
+	case Call:
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = k.String()
+		}
+		return fmt.Sprintf("Call(%s%s)", n.Name, prefixComma(parts))
+	default:
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = k.String()
+		}
+		return fmt.Sprintf("%s(%s)", n.Op, strings.Join(parts, ", "))
+	}
+}
+
+func prefixComma(parts []string) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
+}
+
+// Clone returns a deep copy of the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Op: n.Op, Value: n.Value, Name: n.Name}
+	if len(n.Kids) > 0 {
+		c.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			c.Kids[i] = k.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports structural equality of two trees.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Op != m.Op || n.Value != m.Value || n.Name != m.Name || len(n.Kids) != len(m.Kids) {
+		return false
+	}
+	for i := range n.Kids {
+		if !n.Kids[i].Equal(m.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rel enumerates comparison relations used by conditional branches.
+type Rel int
+
+// Comparison relations.
+const (
+	EQ Rel = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var relNames = [...]string{EQ: "EQ", NE: "NE", LT: "LT", LE: "LE", GT: "GT", GE: "GE"}
+
+func (r Rel) String() string {
+	if int(r) < len(relNames) {
+		return relNames[r]
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Negate returns the complementary relation (EQ↔NE, LT↔GE, LE↔GT).
+func (r Rel) Negate() Rel {
+	switch r {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	default:
+		return LT
+	}
+}
+
+// Swap returns the relation with operands exchanged (LT↔GT, LE↔GE).
+func (r Rel) Swap() Rel {
+	switch r {
+	case LT:
+		return GT
+	case GT:
+		return LT
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return r
+	}
+}
+
+// Holds evaluates the relation on two integers.
+func (r Rel) Holds(a, b int64) bool {
+	switch r {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// StmtKind enumerates statement forms.
+type StmtKind int
+
+// Statement kinds.
+const (
+	SStore  StmtKind = iota // *Addr = Val
+	SBranch                 // if A Rel B goto Target
+	SGoto
+	SLabel
+	SExpr // expression evaluated for side effects (a call)
+	SRet  // return E (E may be nil)
+)
+
+var stmtNames = [...]string{SStore: "Store", SBranch: "Branch", SGoto: "Goto", SLabel: "Label", SExpr: "Expr", SRet: "Ret"}
+
+func (k StmtKind) String() string {
+	if int(k) < len(stmtNames) {
+		return stmtNames[k]
+	}
+	return fmt.Sprintf("StmtKind(%d)", int(k))
+}
+
+// Stmt is one intermediate-code statement.
+type Stmt struct {
+	Kind   StmtKind
+	Addr   *Node // SStore: destination address
+	Val    *Node // SStore: value; SExpr/SRet: expression
+	Rel    Rel   // SBranch
+	A, B   *Node // SBranch operands
+	Target string
+}
+
+// String renders the statement for debugging and golden tests.
+func (s *Stmt) String() string {
+	switch s.Kind {
+	case SStore:
+		return fmt.Sprintf("Store(%s, %s)", s.Addr, s.Val)
+	case SBranch:
+		return fmt.Sprintf("Branch%s(%s, %s, %s)", s.Rel, s.A, s.B, s.Target)
+	case SGoto:
+		return fmt.Sprintf("Goto(%s)", s.Target)
+	case SLabel:
+		return fmt.Sprintf("Label(%s)", s.Target)
+	case SExpr:
+		return fmt.Sprintf("Expr(%s)", s.Val)
+	case SRet:
+		if s.Val == nil {
+			return "Ret()"
+		}
+		return fmt.Sprintf("Ret(%s)", s.Val)
+	}
+	return "Stmt(?)"
+}
+
+// Local describes a stack-allocated variable or parameter.
+type Local struct {
+	Name    string
+	IsParam bool
+	Index   int // parameter position for params; declaration order for locals
+}
+
+// Func is one function in intermediate form.
+type Func struct {
+	Name   string
+	Params []string
+	Locals []Local // includes params
+	Body   []*Stmt
+}
+
+// LookupLocal returns the local named name, if any.
+func (f *Func) LookupLocal(name string) (Local, bool) {
+	for _, l := range f.Locals {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Local{}, false
+}
+
+// Global describes a file-scope integer variable.
+type Global struct {
+	Name string
+}
+
+// StringLit is a string literal placed in read-only data.
+type StringLit struct {
+	Label string
+	Value string
+}
+
+// Unit is one translation unit in intermediate form.
+type Unit struct {
+	Funcs   []*Func
+	Globals []Global
+	Strings []StringLit
+	Externs []string // names declared extern (variables and functions)
+}
+
+// Func returns the function named name, if present.
+func (u *Unit) Func(name string) (*Func, bool) {
+	for _, f := range u.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// ContainsCall reports whether the tree contains a Call node — code
+// generators must not hold register temporaries across calls.
+func (n *Node) ContainsCall() bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == Call {
+		return true
+	}
+	for _, k := range n.Kids {
+		if k.ContainsCall() {
+			return true
+		}
+	}
+	return false
+}

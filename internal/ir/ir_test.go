@@ -1,0 +1,131 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneEqual(t *testing.T) {
+	n := NewBin(Add, NewLoad(NewAddr("b")), NewBin(Mul, NewConst(3), NewLoad(NewAddr("c"))))
+	c := n.Clone()
+	if !n.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Kids[1].Kids[0].Value = 4
+	if n.Equal(c) {
+		t.Fatal("clone aliases the original")
+	}
+}
+
+func TestRelProperties(t *testing.T) {
+	rels := []Rel{EQ, NE, LT, LE, GT, GE}
+	f := func(a, b int32) bool {
+		for _, r := range rels {
+			if r.Holds(int64(a), int64(b)) == r.Negate().Holds(int64(a), int64(b)) {
+				return false // negation must flip the verdict
+			}
+			if r.Holds(int64(a), int64(b)) != r.Swap().Holds(int64(b), int64(a)) {
+				return false // swapping relation and operands is identity
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, r := range rels {
+		if r.Negate().Negate() != r {
+			t.Errorf("%s: double negation", r)
+		}
+		if r.Swap().Swap() != r {
+			t.Errorf("%s: double swap", r)
+		}
+	}
+}
+
+func TestOpClassifiers(t *testing.T) {
+	if !Add.IsBinary() || !Shr.IsBinary() || Neg.IsBinary() || Load.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+	if !Neg.IsUnary() || !Not.IsUnary() || Add.IsUnary() {
+		t.Error("IsUnary wrong")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := NewCall("P", NewLoad(NewAddr("b")), NewConst(7))
+	if n.String() != "Call(P, Load(Addr(b)), Const(7))" {
+		t.Errorf("String = %q", n)
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	s := &Stmt{Kind: SBranch, Rel: LT, A: NewConst(1), B: NewConst(2), Target: "L"}
+	if s.String() != "BranchLT(Const(1), Const(2), L)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func evalUnit(t *testing.T, fns []*Func) string {
+	t.Helper()
+	out, err := Eval(&Unit{Funcs: fns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	main := &Func{Name: "main", Body: []*Stmt{
+		{Kind: SStore, Addr: NewAddr("a"), Val: NewBin(Mul, NewConst(6), NewConst(7))},
+		{Kind: SExpr, Val: NewCall("printf", NewAddr(".str1"), NewLoad(NewAddr("a")))},
+		{Kind: SExpr, Val: NewCall("exit", NewConst(0))},
+	}}
+	if got := evalUnit(t, []*Func{main}); got != "42\n" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestEvalControlAndCalls(t *testing.T) {
+	double := &Func{Name: "double", Params: []string{"x"}, Body: []*Stmt{
+		{Kind: SRet, Val: NewBin(Add, NewLoad(NewAddr("x")), NewLoad(NewAddr("x")))},
+	}}
+	main := &Func{Name: "main", Body: []*Stmt{
+		{Kind: SStore, Addr: NewAddr("i"), Val: NewConst(0)},
+		{Kind: SLabel, Target: "loop"},
+		{Kind: SBranch, Rel: GE, A: NewLoad(NewAddr("i")), B: NewConst(3), Target: "done"},
+		{Kind: SExpr, Val: NewCall("printf", NewAddr(".s"), NewCall("double", NewLoad(NewAddr("i"))))},
+		{Kind: SStore, Addr: NewAddr("i"), Val: NewBin(Add, NewLoad(NewAddr("i")), NewConst(1))},
+		{Kind: SGoto, Target: "loop"},
+		{Kind: SLabel, Target: "done"},
+	}}
+	if got := evalUnit(t, []*Func{double, main}); got != "0\n2\n4\n" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestEvalWraps32(t *testing.T) {
+	main := &Func{Name: "main", Body: []*Stmt{
+		{Kind: SStore, Addr: NewAddr("a"), Val: NewBin(Add, NewConst(1<<31-1), NewConst(1))},
+		{Kind: SExpr, Val: NewCall("printf", NewAddr(".s"), NewLoad(NewAddr("a")))},
+	}}
+	if got := evalUnit(t, []*Func{main}); got != "-2147483648\n" {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	div0 := &Func{Name: "main", Body: []*Stmt{
+		{Kind: SStore, Addr: NewAddr("a"), Val: NewBin(Div, NewConst(1), NewConst(0))},
+	}}
+	if _, err := Eval(&Unit{Funcs: []*Func{div0}}); err == nil {
+		t.Error("division by zero must error")
+	}
+	loop := &Func{Name: "main", Body: []*Stmt{
+		{Kind: SLabel, Target: "l"},
+		{Kind: SGoto, Target: "l"},
+	}}
+	if _, err := Eval(&Unit{Funcs: []*Func{loop}}); err == nil {
+		t.Error("infinite loop must hit the step budget")
+	}
+}

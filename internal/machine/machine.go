@@ -1,0 +1,173 @@
+// Package machine provides the execution substrate shared by every
+// simulated target: byte-addressed memory, a register file, and the CPU
+// state that the per-architecture executors step. It plays the role of the
+// physical hardware that the paper's discovery unit reaches over rsh.
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Memory is a sparse byte-addressed memory with optional access bounds.
+// Out-of-bounds accesses latch a fault that the executor surfaces after the
+// offending step — like a real machine's segmentation violation, this is
+// what makes clobbered frame pointers *observable* to mutation analysis.
+type Memory struct {
+	bytes  map[uint64]byte
+	bounds [][2]uint64 // inclusive start, exclusive end; empty = unbounded
+	fault  error
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{bytes: map[uint64]byte{}} }
+
+// AddBound allows accesses in [start, end).
+func (m *Memory) AddBound(start, end uint64) {
+	m.bounds = append(m.bounds, [2]uint64{start, end})
+}
+
+// Fault returns the first out-of-bounds access error, if any.
+func (m *Memory) Fault() error { return m.fault }
+
+func (m *Memory) check(addr uint64, size int) {
+	if m.fault != nil || len(m.bounds) == 0 {
+		return
+	}
+	for _, b := range m.bounds {
+		if addr >= b[0] && addr+uint64(size) <= b[1] {
+			return
+		}
+	}
+	m.fault = fmt.Errorf("machine: memory access fault at %#x", addr)
+}
+
+// Load reads a little-endian value of size bytes at addr.
+func (m *Memory) Load(addr uint64, size int) uint64 {
+	m.check(addr, size)
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.bytes[addr+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// Store writes a little-endian value of size bytes at addr.
+func (m *Memory) Store(addr uint64, size int, v uint64) {
+	m.check(addr, size)
+	for i := 0; i < size; i++ {
+		m.bytes[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// LoadCString reads a NUL-terminated string at addr (bounded at 64KiB to
+// catch runaway pointers in buggy generated code).
+func (m *Memory) LoadCString(addr uint64) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < 1<<16; i++ {
+		b := m.bytes[addr+uint64(i)]
+		if b == 0 {
+			return sb.String(), nil
+		}
+		sb.WriteByte(b)
+	}
+	return "", fmt.Errorf("machine: unterminated string at %#x", addr)
+}
+
+// SignExtend interprets the low `bits` bits of v as a signed integer.
+func SignExtend(v uint64, bits int) int64 {
+	shift := 64 - bits
+	return int64(v<<shift) >> shift
+}
+
+// Truncate keeps the low `bits` bits of v.
+func Truncate(v int64, bits int) uint64 {
+	if bits >= 64 {
+		return uint64(v)
+	}
+	return uint64(v) & (1<<bits - 1)
+}
+
+// Layout constants shared by all simulated targets.
+const (
+	DataBase  = 0x10000  // static data segment start
+	StackTop  = 0x800000 // initial stack pointer
+	StackSize = 0x10000  // reserved stack region (for bounds checks)
+)
+
+// CPU is the mutable machine state stepped by an architecture executor.
+type CPU struct {
+	Regs   map[string]int64
+	Mem    *Memory
+	PC     int // index into the linked instruction stream
+	Halted bool
+	Exit   int
+
+	// Condition state for architectures with a compare/branch split
+	// (SPARC cmp+be, VAX tstl+jeql, x86 cmpl+je).
+	CCValid bool
+	CCa     int64
+	CCb     int64
+
+	// Hidden registers (e.g. MIPS hi/lo) live here, invisible to the
+	// assembly-level register namespace.
+	Hidden map[string]int64
+
+	// Call stack of return PCs for architectures that keep return
+	// addresses outside the general register file (VAX-style calls).
+	RetStack []int
+
+	Out      strings.Builder
+	Steps    int64
+	MaxSteps int64
+}
+
+// NewCPU returns a CPU with an empty register file and default step budget.
+func NewCPU() *CPU {
+	return &CPU{
+		Regs:     map[string]int64{},
+		Mem:      NewMemory(),
+		Hidden:   map[string]int64{},
+		MaxSteps: 2_000_000,
+	}
+}
+
+// Tick consumes one step of the budget; it returns an error when the budget
+// is exhausted (runaway mutated samples must terminate).
+func (c *CPU) Tick() error {
+	c.Steps++
+	if c.Steps > c.MaxSteps {
+		return fmt.Errorf("machine: step budget exceeded (%d)", c.MaxSteps)
+	}
+	return nil
+}
+
+// Printf implements the runtime printf used by samples: only the directives
+// the Generator emits (%i, %d, %%) are supported.
+func (c *CPU) Printf(format string, args []int64) error {
+	argi := 0
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' {
+			c.Out.WriteByte(ch)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return fmt.Errorf("machine: trailing %% in printf format")
+		}
+		switch format[i] {
+		case 'i', 'd':
+			if argi >= len(args) {
+				return fmt.Errorf("machine: printf missing argument %d", argi)
+			}
+			fmt.Fprintf(&c.Out, "%d", args[argi])
+			argi++
+		case '%':
+			c.Out.WriteByte('%')
+		default:
+			return fmt.Errorf("machine: unsupported printf directive %%%c", format[i])
+		}
+	}
+	return nil
+}

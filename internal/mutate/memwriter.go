@@ -1,0 +1,104 @@
+package mutate
+
+import (
+	"fmt"
+	"strings"
+
+	"srcg/internal/discovery"
+)
+
+// FindMemWriter locates the instruction that writes the sample's output
+// cell: a constant-store sequence (the const sample's region with a fresh
+// distinctive constant) is inserted at each boundary; the smallest
+// position where the program then prints the constant lies just past the
+// last writer. Run under the base valuation with two constants so the
+// verdict cannot hold by accident. storeSeq is the const sample's region;
+// lit is its planted literal.
+//
+// The probe's staging registers are renamed to registers the region never
+// mentions, for two reasons: a shared staging register would let a trailing
+// original store re-store the probe constant (the Alpha's stq $1 after the
+// probe also used $1 — the writer would appear one position early), and a
+// leftover probe value in a region register would perturb later consumers
+// (a MIPS bge reading the probe's $9 flips the branch and fakes a hit).
+// Renamings that break the probe itself (hardwired or class-restricted
+// registers) are rejected by requiring the probe to work at region end,
+// where it must always print the constant.
+func (e *Engine) FindMemWriter(a *Analysis, storeSeq []discovery.Instr, lit int64) {
+	a.AWriter = -1
+	staging := discovery.Registers(storeSeq)
+	fresh := e.freshRegisters(a.Region, len(staging)+4)
+	render := func(k int64, offset int) ([]discovery.Instr, bool) {
+		out := discovery.CloneInstrs(storeSeq)
+		rename := map[string]string{}
+		for i, r := range staging {
+			if i+offset >= len(fresh) {
+				return nil, false
+			}
+			rename[r] = fresh[i+offset]
+		}
+		for i := range out {
+			out[i].Labels = nil
+			for j := range out[i].Args {
+				arg := &out[i].Args[j]
+				if arg.Kind == discovery.KLit && arg.Lit == lit {
+					arg.Text = strings.Replace(arg.Text, fmt.Sprintf("%d", lit), fmt.Sprintf("%d", k), 1)
+				}
+				if to, ok := rename[arg.Text]; ok && arg.Kind == discovery.KReg {
+					arg.Text = to
+					arg.Regs = []string{to}
+				}
+			}
+		}
+		return out, true
+	}
+	printsK := func(pos int, k int64, val, offset int) bool {
+		probe, ok := render(k, offset)
+		if !ok {
+			return false
+		}
+		region := discovery.CloneInstrs(a.Region)
+		for i, ins := range probe {
+			region = Insert(region, pos+i, ins)
+		}
+		out, err := e.OutputOf(a.Sample, region, val)
+		return err == nil && out == fmt.Sprintf("%d\n", int32(k))
+	}
+	// Pick a register renaming the probe survives: at region end the probe
+	// runs unconditionally after every writer, so it must print k there.
+	offset := -1
+	for o := 0; o+len(staging) <= len(fresh); o++ {
+		if printsK(len(a.Region), 24683, 0, o) && printsK(len(a.Region), -19751, 0, o) {
+			offset = o
+			break
+		}
+	}
+	if offset < 0 {
+		return
+	}
+	// The store may sit on a conditionally executed path (a guarded
+	// assignment's taken direction skips it), so each valuation is probed
+	// and the latest writer wins.
+	for val := range a.Sample.Valuations() {
+		for pos := 0; pos <= len(a.Region); pos++ {
+			// Never split a delay-slotted pair.
+			if pos > 0 && a.Slotted[pos-1] {
+				continue
+			}
+			if printsK(pos, 24683, val, offset) && printsK(pos, -19751, val, offset) {
+				// The last writer is the nearest non-filler instruction
+				// before pos; pos == 0 means this valuation's path writes
+				// nothing.
+				for i := pos - 1; i >= 0; i-- {
+					if !a.Filler[i] {
+						if i > a.AWriter {
+							a.AWriter = i
+						}
+						break
+					}
+				}
+				break
+			}
+		}
+	}
+}

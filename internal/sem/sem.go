@@ -1,0 +1,304 @@
+// Package sem implements the semantic domain of the Extractor (paper §5.2):
+// the RISC-like primitive set of Fig. 14, semantic trees built from it, the
+// interpreter I that evaluates an instruction region under an environment,
+// and the machinery the reverse interpreter R needs to enumerate and test
+// candidate interpretations. Arithmetic is performed in the integer width
+// discovered by enquire (§5.2.1: "simulate arithmetic in the correct
+// precision").
+package sem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Primitive names (Fig. 14). compare yields an encoded condition (-1,0,1);
+// the is* primitives map conditions to booleans (0/1); br consumes a
+// boolean. Values are integers; addresses are opaque tokens.
+const (
+	PArg  = "arg"  // value of input port n
+	PLit  = "lit"  // small-constant leaf (0, 1, wordbits-1)
+	PLoad = "load" // load(addr)
+	PAdd  = "add"
+	PSub  = "sub"
+	PMul  = "mul"
+	PDiv  = "div"
+	PMod  = "mod"
+	PAnd  = "and"
+	POr   = "or"
+	PXor  = "xor"
+	PShl  = "shiftLeft"
+	PShr  = "shiftRight" // arithmetic
+	// PAsh is the signed-count arithmetic shift: left for non-negative
+	// counts, right by the magnitude for negative ones. It is not in the
+	// paper's Fig. 14 vocabulary — the paper reports the VAX's ashl as
+	// unhandled for exactly this reason (§5.2.3) — and is offered to the
+	// reverse interpreter only under the SignedShifts extension.
+	PAsh  = "shiftSigned"
+	PNeg  = "neg"
+	PNot  = "not"
+	PMove = "move"
+	PCmp  = "compare"
+	PIsEQ = "isEQ"
+	PIsNE = "isNE"
+	PIsLT = "isLT"
+	PIsLE = "isLE"
+	PIsGT = "isGT"
+	PIsGE = "isGE"
+)
+
+// Tree is a semantic expression tree over the primitives. Input ports are
+// referenced by stable string keys ("a0" = explicit operand 0, "r%eax" =
+// implicit register, "h" = hidden channel) so that one signature's
+// semantics applies uniformly across samples.
+type Tree struct {
+	Prim string
+	Key  string // PArg: input port key
+	Lit  int64  // PLit
+	Kids []*Tree
+}
+
+// Leaf constructors.
+func Arg(key string) *Tree       { return &Tree{Prim: PArg, Key: key} }
+func Lit(v int64) *Tree          { return &Tree{Prim: PLit, Lit: v} }
+func Load(a *Tree) *Tree         { return &Tree{Prim: PLoad, Kids: []*Tree{a}} }
+func Un(p string, x *Tree) *Tree { return &Tree{Prim: p, Kids: []*Tree{x}} }
+func Bin(p string, x, y *Tree) *Tree {
+	return &Tree{Prim: p, Kids: []*Tree{x, y}}
+}
+
+// Size counts tree nodes — the reverse interpreter prefers the shortest
+// interpretation (§5.2.1).
+func (t *Tree) Size() int {
+	n := 1
+	for _, k := range t.Kids {
+		n += k.Size()
+	}
+	return n
+}
+
+func (t *Tree) String() string {
+	switch t.Prim {
+	case PArg:
+		return t.Key
+	case PLit:
+		return fmt.Sprintf("%d", t.Lit)
+	default:
+		parts := make([]string, len(t.Kids))
+		for i, k := range t.Kids {
+			parts[i] = k.String()
+		}
+		return t.Prim + "(" + strings.Join(parts, ", ") + ")"
+	}
+}
+
+// Equal reports structural equality.
+func (t *Tree) Equal(o *Tree) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Prim != o.Prim || t.Key != o.Key || t.Lit != o.Lit || len(t.Kids) != len(o.Kids) {
+		return false
+	}
+	for i := range t.Kids {
+		if !t.Kids[i].Equal(o.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Value is an integer or an opaque address token.
+type Value struct {
+	Addr string // non-empty: an address
+	N    int64
+}
+
+// IsAddr reports whether the value is an address token.
+func (v Value) IsAddr() bool { return v.Addr != "" }
+
+func (v Value) String() string {
+	if v.IsAddr() {
+		return "&" + v.Addr
+	}
+	return fmt.Sprintf("%d", v.N)
+}
+
+// State is the interpreter environment: a memory keyed by address tokens
+// plus the integer width.
+type State struct {
+	Mem  map[string]int64
+	Bits int
+}
+
+// NewState creates an empty environment of the given width.
+func NewState(bits int) *State {
+	return &State{Mem: map[string]int64{}, Bits: bits}
+}
+
+// trunc wraps v to the environment width.
+func (st *State) trunc(v int64) int64 {
+	if st.Bits >= 64 {
+		return v
+	}
+	shift := 64 - uint(st.Bits)
+	return (v << shift) >> shift
+}
+
+// Eval evaluates the tree given the instruction's input port values.
+func (t *Tree) Eval(in map[string]Value, st *State) (Value, error) {
+	switch t.Prim {
+	case PArg:
+		v, ok := in[t.Key]
+		if !ok {
+			return Value{}, fmt.Errorf("sem: no input port %q", t.Key)
+		}
+		return v, nil
+	case PLit:
+		return Value{N: t.Lit}, nil
+	case PLoad:
+		a, err := t.Kids[0].Eval(in, st)
+		if err != nil {
+			return Value{}, err
+		}
+		if !a.IsAddr() {
+			return Value{}, fmt.Errorf("sem: load of non-address %s", a)
+		}
+		v, ok := st.Mem[a.Addr]
+		if !ok {
+			return Value{}, fmt.Errorf("sem: load of undefined cell %s", a.Addr)
+		}
+		return Value{N: v}, nil
+	case PMove:
+		return t.Kids[0].Eval(in, st)
+	}
+	// Numeric primitives: all operands must be integers.
+	args := make([]int64, len(t.Kids))
+	for i, k := range t.Kids {
+		v, err := k.Eval(in, st)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsAddr() {
+			return Value{}, fmt.Errorf("sem: %s of address %s", t.Prim, v)
+		}
+		args[i] = v.N
+	}
+	var r int64
+	switch t.Prim {
+	case PAdd:
+		r = args[0] + args[1]
+	case PSub:
+		r = args[0] - args[1]
+	case PMul:
+		r = args[0] * args[1]
+	case PDiv:
+		if args[1] == 0 {
+			return Value{}, fmt.Errorf("sem: division by zero")
+		}
+		r = args[0] / args[1]
+	case PMod:
+		if args[1] == 0 {
+			return Value{}, fmt.Errorf("sem: division by zero")
+		}
+		r = args[0] % args[1]
+	case PAnd:
+		r = args[0] & args[1]
+	case POr:
+		r = args[0] | args[1]
+	case PXor:
+		r = args[0] ^ args[1]
+	case PShl:
+		if args[1] < 0 || args[1] >= 64 {
+			return Value{}, fmt.Errorf("sem: shift count %d", args[1])
+		}
+		r = args[0] << uint(args[1])
+	case PShr:
+		if args[1] < 0 || args[1] >= 64 {
+			return Value{}, fmt.Errorf("sem: shift count %d", args[1])
+		}
+		r = args[0] >> uint(args[1])
+	case PAsh:
+		if args[1] <= -64 || args[1] >= 64 {
+			return Value{}, fmt.Errorf("sem: shift count %d", args[1])
+		}
+		if args[1] < 0 {
+			r = args[0] >> uint(-args[1])
+		} else {
+			r = args[0] << uint(args[1])
+		}
+	case PNeg:
+		r = -args[0]
+	case PNot:
+		r = ^args[0]
+	case PCmp:
+		switch {
+		case args[0] < args[1]:
+			r = -1
+		case args[0] == args[1]:
+			r = 0
+		default:
+			r = 1
+		}
+		return Value{N: r}, nil // condition codes are not width-truncated
+	case PIsEQ:
+		r = b2i(args[0] == 0)
+	case PIsNE:
+		r = b2i(args[0] != 0)
+	case PIsLT:
+		r = b2i(args[0] < 0)
+	case PIsLE:
+		r = b2i(args[0] <= 0)
+	case PIsGT:
+		r = b2i(args[0] > 0)
+	case PIsGE:
+		r = b2i(args[0] >= 0)
+	default:
+		return Value{}, fmt.Errorf("sem: unknown primitive %q", t.Prim)
+	}
+	return Value{N: st.trunc(r)}, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Sem is one instruction signature's semantic interpretation: a tree per
+// output port (keyed like input ports) plus an optional branch condition
+// (the branch target comes from the instruction's label operand).
+type Sem struct {
+	Outs map[string]*Tree // output port key -> value tree
+	Cond *Tree            // non-nil: branch taken when the tree evaluates non-zero
+}
+
+// Size is the total interpretation size (shorter is preferred, §5.2.1).
+func (s *Sem) Size() int {
+	n := 0
+	for _, t := range s.Outs {
+		n += t.Size()
+	}
+	if s.Cond != nil {
+		n += s.Cond.Size()
+	}
+	return n
+}
+
+func (s *Sem) String() string {
+	keys := make([]string, 0, len(s.Outs))
+	for k := range s.Outs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, k+"="+s.Outs[k].String())
+	}
+	if s.Cond != nil {
+		parts = append(parts, "br="+s.Cond.String())
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,205 @@
+package sem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func env(vals map[string]Value) map[string]Value { return vals }
+
+func evalInt(t *testing.T, tree *Tree, in map[string]Value, bits int) int64 {
+	t.Helper()
+	st := NewState(bits)
+	v, err := tree.Eval(in, st)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", tree, err)
+	}
+	if v.IsAddr() {
+		t.Fatalf("Eval(%s) returned address", tree)
+	}
+	return v.N
+}
+
+// TestPrimitivesMatchGo checks every arithmetic primitive against native
+// 32-bit Go semantics on random operands.
+func TestPrimitivesMatchGo(t *testing.T) {
+	prims := map[string]func(a, b int32) (int32, bool){
+		PAdd: func(a, b int32) (int32, bool) { return a + b, true },
+		PSub: func(a, b int32) (int32, bool) { return a - b, true },
+		PMul: func(a, b int32) (int32, bool) { return a * b, true },
+		PDiv: func(a, b int32) (int32, bool) {
+			if b == 0 || (a == -1<<31 && b == -1) {
+				return 0, false
+			}
+			return a / b, true
+		},
+		PMod: func(a, b int32) (int32, bool) {
+			if b == 0 || (a == -1<<31 && b == -1) {
+				return 0, false
+			}
+			return a % b, true
+		},
+		PAnd: func(a, b int32) (int32, bool) { return a & b, true },
+		POr:  func(a, b int32) (int32, bool) { return a | b, true },
+		PXor: func(a, b int32) (int32, bool) { return a ^ b, true },
+	}
+	for prim, ref := range prims {
+		prim, ref := prim, ref
+		f := func(a, b int32) bool {
+			want, ok := ref(a, b)
+			if !ok {
+				return true
+			}
+			tree := Bin(prim, Arg("x"), Arg("y"))
+			in := env(map[string]Value{"x": {N: int64(a)}, "y": {N: int64(b)}})
+			st := NewState(32)
+			got, err := tree.Eval(in, st)
+			return err == nil && got.N == int64(want)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", prim, err)
+		}
+	}
+}
+
+func TestShiftsAndUnary(t *testing.T) {
+	in := env(map[string]Value{"x": {N: 503}, "y": {N: 3}})
+	if got := evalInt(t, Bin(PShl, Arg("x"), Arg("y")), in, 32); got != 4024 {
+		t.Errorf("shl = %d", got)
+	}
+	if got := evalInt(t, Bin(PShr, Lit(-64), Lit(3)), in, 32); got != -8 {
+		t.Errorf("shr = %d (must be arithmetic)", got)
+	}
+	if got := evalInt(t, Un(PNeg, Arg("x")), in, 32); got != -503 {
+		t.Errorf("neg = %d", got)
+	}
+	if got := evalInt(t, Un(PNot, Lit(0)), in, 32); got != -1 {
+		t.Errorf("not = %d", got)
+	}
+}
+
+// TestSignedShiftPrimitive checks the ash extension: non-negative counts
+// shift left, negative counts shift right arithmetically, and the property
+// ash(x, n) == shl(x, n) / shr(x, -n) holds on random operands.
+func TestSignedShiftPrimitive(t *testing.T) {
+	in := env(map[string]Value{})
+	if got := evalInt(t, Bin(PAsh, Lit(5), Lit(3)), in, 32); got != 40 {
+		t.Errorf("ash(5,3) = %d, want 40", got)
+	}
+	if got := evalInt(t, Bin(PAsh, Lit(-64), Lit(-3)), in, 32); got != -8 {
+		t.Errorf("ash(-64,-3) = %d, want -8 (arithmetic)", got)
+	}
+	if got := evalInt(t, Bin(PAsh, Lit(7), Lit(0)), in, 32); got != 7 {
+		t.Errorf("ash(7,0) = %d, want 7", got)
+	}
+	for _, bad := range []int64{64, -64, 99} {
+		if _, err := Bin(PAsh, Lit(1), Lit(bad)).Eval(in, NewState(32)); err == nil {
+			t.Errorf("ash count %d must fail", bad)
+		}
+	}
+	f := func(x int32, n uint8) bool {
+		k := int64(n % 32)
+		inn := env(map[string]Value{"x": {N: int64(x)}})
+		st := NewState(32)
+		left, err1 := Bin(PAsh, Arg("x"), Lit(k)).Eval(inn, st)
+		wantL, err2 := Bin(PShl, Arg("x"), Lit(k)).Eval(inn, st)
+		if err1 != nil || err2 != nil || left.N != wantL.N {
+			return false
+		}
+		right, err3 := Bin(PAsh, Arg("x"), Lit(-k)).Eval(inn, st)
+		wantR, err4 := Bin(PShr, Arg("x"), Lit(k)).Eval(inn, st)
+		return err3 == nil && err4 == nil && right.N == wantR.N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("ash/shl/shr agreement: %v", err)
+	}
+}
+
+func TestWidthTruncation(t *testing.T) {
+	in := env(map[string]Value{"x": {N: 1<<31 - 1}, "y": {N: 1}})
+	if got := evalInt(t, Bin(PAdd, Arg("x"), Arg("y")), in, 32); got != -1<<31 {
+		t.Errorf("32-bit wrap = %d", got)
+	}
+	if got := evalInt(t, Bin(PAdd, Arg("x"), Arg("y")), in, 64); got != 1<<31 {
+		t.Errorf("64-bit add = %d", got)
+	}
+}
+
+func TestCompareAndRelations(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		rel  string
+		want int64
+	}{
+		{1, 2, PIsLT, 1}, {2, 1, PIsLT, 0}, {2, 2, PIsLT, 0},
+		{2, 2, PIsEQ, 1}, {1, 2, PIsEQ, 0},
+		{3, 2, PIsGT, 1}, {2, 2, PIsGE, 1}, {1, 2, PIsLE, 1}, {1, 2, PIsNE, 1},
+	}
+	for _, c := range cases {
+		tree := Un(c.rel, Bin(PCmp, Arg("a"), Arg("b")))
+		in := env(map[string]Value{"a": {N: c.a}, "b": {N: c.b}})
+		if got := evalInt(t, tree, in, 32); got != c.want {
+			t.Errorf("%s(compare(%d,%d)) = %d, want %d", c.rel, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLoadStoreThroughMemory(t *testing.T) {
+	st := NewState(32)
+	st.Mem["cell"] = 77
+	tree := Load(Arg("p"))
+	in := env(map[string]Value{"p": {Addr: "cell"}})
+	v, err := tree.Eval(in, st)
+	if err != nil || v.N != 77 {
+		t.Errorf("load = %v, %v", v, err)
+	}
+	if _, err := tree.Eval(env(map[string]Value{"p": {N: 5}}), st); err == nil {
+		t.Error("load of a non-address must fail")
+	}
+	if _, err := Load(Arg("p")).Eval(env(map[string]Value{"p": {Addr: "other"}}), st); err == nil {
+		t.Error("load of an undefined cell must fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	in := env(map[string]Value{"a": {Addr: "x"}, "b": {N: 0}})
+	if _, err := Bin(PAdd, Arg("a"), Arg("b")).Eval(in, NewState(32)); err == nil {
+		t.Error("arithmetic on an address must fail")
+	}
+	if _, err := Bin(PDiv, Lit(1), Arg("b")).Eval(in, NewState(32)); err == nil {
+		t.Error("division by zero must fail")
+	}
+	if _, err := Bin(PShl, Lit(1), Lit(99)).Eval(in, NewState(32)); err == nil {
+		t.Error("oversized shift must fail")
+	}
+	if _, err := Arg("zzz").Eval(in, NewState(32)); err == nil {
+		t.Error("missing input port must fail")
+	}
+}
+
+func TestTreeEqualSizeString(t *testing.T) {
+	a := Bin(PAdd, Load(Arg("a0")), Lit(5))
+	b := Bin(PAdd, Load(Arg("a0")), Lit(5))
+	c := Bin(PAdd, Load(Arg("a0")), Lit(6))
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("structural equality broken")
+	}
+	if a.Size() != 4 {
+		t.Errorf("size = %d, want 4", a.Size())
+	}
+	if a.String() != "add(load(a0), 5)" {
+		t.Errorf("string = %q", a)
+	}
+}
+
+func TestSemString(t *testing.T) {
+	s := &Sem{Outs: map[string]*Tree{
+		"a1":    Load(Arg("a0")),
+		"r%edx": Un(PNeg, Arg("a0")),
+	}}
+	got := s.String()
+	// Keys render in sorted order for determinism.
+	if got != "a1=load(a0); r%edx=neg(a0)" {
+		t.Errorf("String = %q", got)
+	}
+}

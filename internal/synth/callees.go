@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"srcg/internal/dfg"
+)
+
+// discoverCallees probes the shapes of user procedures with 0, 1, and 2
+// parameters: header/footer by diffing increasing local counts (§7.2),
+// parameter slots by compiling `w1 = p1; return w1;` and matching the Move
+// template, and the return sequence from the probe tails.
+func (in Input) discoverCallees(s *Spec) error {
+	if s.Const == nil || s.Move == nil {
+		return fmt.Errorf("synth: callee probing needs Const and Move templates")
+	}
+	for nparams := 0; nparams <= 2; nparams++ {
+		cm, err := in.discoverCallee(s, nparams)
+		if err != nil {
+			return fmt.Errorf("synth: callee with %d params: %w", nparams, err)
+		}
+		s.Callees[nparams] = cm
+	}
+	return nil
+}
+
+func calleeParams(n int) string {
+	switch n {
+	case 0:
+		return ""
+	case 1:
+		return "int p1"
+	default:
+		return "int p1, int p2"
+	}
+}
+
+func (in Input) discoverCallee(s *Spec, nparams int) (*CalleeModel, error) {
+	headers := map[int][]string{}
+	tails := map[int][]string{}
+	var probedSlot string
+
+	for _, k := range probeKs {
+		var ws []string
+		for i := 1; i <= k; i++ {
+			ws = append(ws, fmt.Sprintf("w%d", i))
+		}
+		src := fmt.Sprintf(`int Q(%s)
+{
+	int %s;
+	%s = %d;
+	return %s;
+}`, calleeParams(nparams), strings.Join(ws, ", "), ws[k-1], probeMarker, ws[k-1])
+		text, err := in.Rig.CompileAsm(src)
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(text, "\n")
+		idx := -1
+		for i, l := range lines {
+			if strings.Contains(l, fmt.Sprintf("%d", probeMarker)) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("marker not found in callee probe k=%d", k)
+		}
+		headers[k] = lines[:idx]
+		binds, n, err := matchTemplate(s.Const.Lines, lines[idx:],
+			map[string]string{"k": fmt.Sprintf("%d", probeMarker)})
+		if err != nil {
+			return nil, fmt.Errorf("const template mismatch in callee: %w", err)
+		}
+		slotK := binds["dst"]
+		if k == probeKs[len(probeKs)-1] {
+			probedSlot = slotK
+		}
+		var t []string
+		for _, l := range lines[idx+n:] {
+			t = append(t, strings.ReplaceAll(l, slotK, "{src1}"))
+		}
+		tails[k] = t
+	}
+	header, err := parametrizeLines(headers, probeKs)
+	if err != nil {
+		return nil, err
+	}
+	// Callee slots follow the same progression as main's, but locals may
+	// start after parameter spill slots (register-argument machines).
+	// Infer the base from the probed k-th slot.
+	kMax := probeKs[len(probeKs)-1]
+	pn, _, err := splitSlot(probedSlot)
+	if err != nil {
+		return nil, err
+	}
+	idx := (pn - s.Main.Slots.Start) / s.Main.Slots.Stride
+	localBase := int(idx) - (kMax - 1)
+	if localBase < 0 || localBase > 8 ||
+		dfg.NormalizeAddr(s.Main.Slots.Slot(localBase+kMax-1)) != dfg.NormalizeAddr(probedSlot) {
+		return nil, fmt.Errorf("callee slot %q does not fit the frame model", probedSlot)
+	}
+
+	cm := &CalleeModel{
+		NParams:   nparams,
+		Frame:     FrameModel{Header: header, Slots: s.Main.Slots},
+		LocalBase: localBase,
+	}
+	retLines, err := parametrizeLines(tails, probeKs)
+	if err != nil {
+		return nil, fmt.Errorf("callee tail: %w", err)
+	}
+	cm.RetTail = Template{Name: "Return", Lines: retLines, Instrs: len(retLines)}
+
+	// Parameter slots: `w1 = pN; return w1;` — the body must match the
+	// Move template with dst = slot 0.
+	for p := 1; p <= nparams; p++ {
+		src := fmt.Sprintf(`int Q(%s)
+{
+	int w1, w2;
+	w1 = p%d;
+	return w1;
+}`, calleeParams(nparams), p)
+		text, err := in.Rig.CompileAsm(src)
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(text, "\n")
+		hdr := cm.Frame.RenderHeader(2)
+		if len(lines) < len(hdr) {
+			return nil, fmt.Errorf("param probe shorter than header")
+		}
+		binds, _, err := matchTemplate(s.Move.Lines, lines[len(hdr):],
+			map[string]string{"dst": s.Main.Slots.Slot(cm.LocalBase)})
+		if err != nil {
+			return nil, fmt.Errorf("move template mismatch in param probe: %w", err)
+		}
+		cm.ParamSlots = append(cm.ParamSlots, binds["src1"])
+	}
+	return cm, nil
+}

@@ -1,0 +1,358 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+)
+
+// probeMarker is a distinctive constant planted in frame probes.
+const probeMarker = 29313
+
+// probeKs are the local counts probed. Even counts only: frame sizes may
+// be rounded to an alignment, which is linear on a fixed parity; the
+// generated back end rounds its local count up to even.
+var probeKs = []int{4, 6, 8}
+
+// rawSlot finds the raw operand text for a normalized slot address by
+// scanning an analyzed region.
+func (in Input) rawSlot(norm string) (string, error) {
+	for _, name := range []string{"int.move.b", "int.add.b_c", "int.const.34117"} {
+		a, ok := in.Analyses[name]
+		if !ok {
+			continue
+		}
+		for _, ins := range a.Region {
+			for _, arg := range ins.Args {
+				if (arg.Kind == discovery.KMem || arg.Kind == discovery.KSym) &&
+					dfg.NormalizeAddr(arg.Text) == norm {
+					return arg.Text, nil
+				}
+			}
+		}
+	}
+	return "", fmt.Errorf("synth: no raw operand found for slot %q", norm)
+}
+
+// discoverMain probes the shape of `main` by compiling programs with
+// increasing local counts and diffing the results — the paper's §7.2
+// recipe ("compiling int P(){}, int P(){int a;}, ... will result in
+// procedure headers which only differ in the amount of stack space"). It
+// also derives the print and exit templates from the probe's tail.
+func (in Input) discoverMain(s *Spec) error {
+	if s.Const == nil {
+		return fmt.Errorf("synth: frame probing needs the Const template")
+	}
+	headers := map[int][]string{}
+	tails := map[int][]string{}
+	var probedSlot string // raw text of the last local's slot at k=max
+
+	for _, k := range probeKs {
+		text, err := in.Rig.CompileAsm(mainProbe(k))
+		if err != nil {
+			return fmt.Errorf("synth: frame probe k=%d: %w", k, err)
+		}
+		lines := strings.Split(text, "\n")
+		idx := -1
+		for i, l := range lines {
+			if strings.Contains(l, fmt.Sprintf("%d", probeMarker)) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("synth: frame probe k=%d: marker not found", k)
+		}
+		headers[k] = lines[:idx]
+		binds, n, err := matchTemplate(s.Const.Lines,
+			lines[idx:], map[string]string{"k": fmt.Sprintf("%d", probeMarker)})
+		if err != nil {
+			return fmt.Errorf("synth: frame probe: const template mismatch: %w", err)
+		}
+		slotK := binds["dst"]
+		if k == probeKs[len(probeKs)-1] {
+			probedSlot = slotK
+		}
+		// Abstract the probed slot per k so the only remaining variation
+		// in the tail is the frame size (footer stack adjustments).
+		var t []string
+		for _, l := range lines[idx+n:] {
+			t = append(t, strings.ReplaceAll(l, slotK, "{src1}"))
+		}
+		tails[k] = t
+	}
+
+	header, err := parametrizeLines(headers, probeKs)
+	if err != nil {
+		return fmt.Errorf("synth: main header: %w", err)
+	}
+	tail, err := parametrizeLines(tails, probeKs)
+	if err != nil {
+		return fmt.Errorf("synth: main tail: %w", err)
+	}
+	slots, err := in.slotModel()
+	if err != nil {
+		return err
+	}
+	kMax := probeKs[len(probeKs)-1]
+	if dfg.NormalizeAddr(slots.Slot(kMax-1)) != dfg.NormalizeAddr(probedSlot) {
+		return fmt.Errorf("synth: slot extrapolation mismatch: computed %q, probed %q",
+			slots.Slot(kMax-1), probedSlot)
+	}
+	s.Main = FrameModel{Header: header, Slots: slots}
+
+	printfIdx := -1
+	for i, l := range tail {
+		if discovery.HasToken(l, "printf") {
+			printfIdx = i
+			break
+		}
+	}
+	if printfIdx < 0 {
+		return fmt.Errorf("synth: printf not found in probe tail")
+	}
+	s.Print = &Template{Name: "Print", Lines: append([]string(nil), tail[:printfIdx+1]...),
+		Instrs: printfIdx + 1}
+	s.ExitTail = append([]string(nil), tail[printfIdx+1:]...)
+	return nil
+}
+
+// mainProbe is a standalone main with k locals whose last local is set to
+// the marker, printed, then the program exits.
+func mainProbe(k int) string {
+	var names []string
+	for i := 1; i <= k; i++ {
+		names = append(names, fmt.Sprintf("v%d", i))
+	}
+	return fmt.Sprintf(`main() {
+	int %s;
+	%s = %d;
+	printf("%%i\n", %s);
+	exit(0);
+}`, strings.Join(names, ", "), names[k-1], probeMarker, names[k-1])
+}
+
+// slotModel derives the arithmetic progression of frame slots from the
+// three bound variable slots (raw operand forms).
+func (in Input) slotModel() (SlotModel, error) {
+	nums := make([]int64, 3)
+	var pattern string
+	for i, norm := range []string{in.Slots.A, in.Slots.B, in.Slots.C} {
+		raw, err := in.rawSlot(norm)
+		if err != nil {
+			return SlotModel{}, err
+		}
+		n, pat, err := splitSlot(raw)
+		if err != nil {
+			return SlotModel{}, err
+		}
+		nums[i] = n
+		if i == 0 {
+			pattern = pat
+		} else if pat != pattern {
+			return SlotModel{}, fmt.Errorf("synth: slot patterns differ: %q vs %q", pattern, pat)
+		}
+	}
+	stride := nums[1] - nums[0]
+	if nums[2]-nums[1] != stride || stride == 0 {
+		return SlotModel{}, fmt.Errorf("synth: slots not in arithmetic progression: %v", nums)
+	}
+	return SlotModel{Pattern: pattern, Start: nums[0], Stride: stride}, nil
+}
+
+// splitSlot extracts the integer from a raw slot operand and returns a
+// fmt pattern reproducing it ("-4(%ebp)" -> -4 with "%d(%%ebp)").
+func splitSlot(slot string) (int64, string, error) {
+	start, end := -1, -1
+	for i := 0; i < len(slot); i++ {
+		c := slot[i]
+		if c >= '0' && c <= '9' {
+			if start < 0 {
+				start = i
+				if i > 0 && (slot[i-1] == '-' || slot[i-1] == '+') {
+					start = i - 1
+				}
+			}
+			end = i + 1
+		} else if start >= 0 {
+			break
+		}
+	}
+	if start < 0 {
+		return 0, "", fmt.Errorf("synth: no offset in slot %q", slot)
+	}
+	var n int64
+	if _, err := fmt.Sscanf(strings.TrimPrefix(slot[start:end], "+"), "%d", &n); err != nil {
+		return 0, "", err
+	}
+	esc := func(x string) string { return strings.ReplaceAll(x, "%", "%%") }
+	return n, esc(slot[:start]) + "%d" + esc(slot[end:]), nil
+}
+
+// parametrizeLines merges per-k line lists into one template: lines must
+// agree except for single integer tokens varying linearly with k.
+func parametrizeLines(byK map[int][]string, ks []int) ([]string, error) {
+	base := byK[ks[0]]
+	for _, k := range ks {
+		if len(byK[k]) != len(base) {
+			return nil, fmt.Errorf("header line count varies with locals (%d vs %d)", len(byK[k]), len(base))
+		}
+	}
+	out := make([]string, len(base))
+	for i := range base {
+		same := true
+		for _, k := range ks[1:] {
+			if byK[k][i] != base[i] {
+				same = false
+			}
+		}
+		if same {
+			out[i] = base[i]
+			continue
+		}
+		// Derive the shared prefix/suffix from any differing pair, then
+		// read each k's value out of its line.
+		var prefix, suffix string
+		found := false
+		for _, k := range ks[1:] {
+			if byK[k][i] != base[i] {
+				p, sfx, _, ok := diffInt(base[i], byK[k][i])
+				if !ok {
+					return nil, fmt.Errorf("non-numeric variation in header line %q", base[i])
+				}
+				prefix, suffix = p, sfx
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("inconsistent header line %q", base[i])
+		}
+		vals := map[int]int64{}
+		for _, k := range ks {
+			l := byK[k][i]
+			if !strings.HasPrefix(l, prefix) || !strings.HasSuffix(l, suffix) ||
+				len(l) < len(prefix)+len(suffix) {
+				return nil, fmt.Errorf("irregular header line %q", l)
+			}
+			var v int64
+			if _, err := fmt.Sscanf(l[len(prefix):len(l)-len(suffix)], "%d", &v); err != nil {
+				return nil, fmt.Errorf("non-numeric variation in header line %q", l)
+			}
+			vals[k] = v
+		}
+		// Fit n(k) = c0 + stride*k over the probed points.
+		dk := int64(ks[1] - ks[0])
+		stride := (vals[ks[1]] - vals[ks[0]]) / dk
+		c0 := vals[ks[0]] - stride*int64(ks[0])
+		for _, k := range ks {
+			if vals[k] != c0+stride*int64(k) {
+				return nil, fmt.Errorf("non-linear frame growth in %q", base[i])
+			}
+		}
+		out[i] = fmt.Sprintf("%s{frame:%d:%d}%s", prefix, c0, stride, suffix)
+	}
+	return out, nil
+}
+
+// diffInt locates the single integer token at which two otherwise equal
+// lines differ, returning the shared prefix/suffix and the value in b.
+func diffInt(a, b string) (prefix, suffix string, v int64, ok bool) {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	for i > 0 && isDigitByte(b[i-1]) {
+		i--
+	}
+	if i > 0 && b[i-1] == '-' {
+		i--
+	}
+	ja, jb := len(a), len(b)
+	for ja > i && jb > i && a[ja-1] == b[jb-1] {
+		ja--
+		jb--
+	}
+	for jb < len(b) && isDigitByte(b[jb]) {
+		jb++
+	}
+	numB := b[i:jb]
+	if numB == "" {
+		return "", "", 0, false
+	}
+	if _, err := fmt.Sscanf(numB, "%d", &v); err != nil {
+		return "", "", 0, false
+	}
+	return b[:i], b[jb:], v, true
+}
+
+func isDigitByte(c byte) bool { return c >= '0' && c <= '9' }
+
+// matchTemplate matches template lines (with {placeholders}) against
+// actual lines, given some placeholder bindings; it returns the full
+// binding set and the number of lines consumed.
+func matchTemplate(tmpl, actual []string, binds map[string]string) (map[string]string, int, error) {
+	out := map[string]string{}
+	for k, v := range binds {
+		out[k] = v
+	}
+	if len(actual) < len(tmpl) {
+		return nil, 0, fmt.Errorf("template longer than input")
+	}
+	for i, tl := range tmpl {
+		// Pre-substitute known bindings so literals line up.
+		for k, v := range out {
+			tl = strings.ReplaceAll(tl, "{"+k+"}", v)
+		}
+		if err := matchLine(tl, actual[i], out); err != nil {
+			return nil, 0, fmt.Errorf("line %d: %w", i, err)
+		}
+	}
+	return out, len(tmpl), nil
+}
+
+// matchLine unifies one template line against one actual line.
+func matchLine(tmpl, actual string, binds map[string]string) error {
+	ti, ai := 0, 0
+	for ti < len(tmpl) {
+		if tmpl[ti] == '{' {
+			end := strings.IndexByte(tmpl[ti:], '}')
+			if end < 0 {
+				return fmt.Errorf("malformed template %q", tmpl)
+			}
+			name := tmpl[ti+1 : ti+end]
+			ti += end + 1
+			next := tmpl[ti:]
+			stop := len(actual)
+			if next != "" {
+				lit := next
+				if j := strings.IndexByte(next, '{'); j >= 0 {
+					lit = next[:j]
+				}
+				k := strings.Index(actual[ai:], lit)
+				if k < 0 {
+					return fmt.Errorf("literal %q not found in %q", lit, actual)
+				}
+				stop = ai + k
+			}
+			val := actual[ai:stop]
+			if old, ok := binds[name]; ok && old != val {
+				return fmt.Errorf("placeholder %s: %q vs %q", name, old, val)
+			}
+			binds[name] = val
+			ai = stop
+			continue
+		}
+		if ai >= len(actual) || actual[ai] != tmpl[ti] {
+			return fmt.Errorf("mismatch at %q vs %q", tmpl[ti:], actual[ai:])
+		}
+		ti++
+		ai++
+	}
+	if ai != len(actual) {
+		return fmt.Errorf("trailing text %q", actual[ai:])
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"testing"
+)
+
+func TestSplitSlot(t *testing.T) {
+	cases := []struct {
+		slot    string
+		n       int64
+		pattern string
+	}{
+		{"-4(%ebp)", -4, "%%d(%%%%ebp)"},
+		{"[%fp-8]", -8, ""},
+		{"8($sp)", 8, ""},
+		{"-4(fp)", -4, ""},
+	}
+	for _, c := range cases {
+		n, pat, err := splitSlot(c.slot)
+		if err != nil {
+			t.Errorf("splitSlot(%q): %v", c.slot, err)
+			continue
+		}
+		if n != c.n {
+			t.Errorf("splitSlot(%q) n = %d, want %d", c.slot, n, c.n)
+		}
+		// The pattern must round-trip.
+		if got := renderPattern(pat, itoa(n)); got != c.slot {
+			t.Errorf("pattern %q renders %q, want %q", pat, got, c.slot)
+		}
+	}
+}
+
+func itoa(n int64) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}
+
+func TestSlotModelRendering(t *testing.T) {
+	m := SlotModel{Pattern: "%d(%%ebp)", Start: -4, Stride: -4}
+	if m.Slot(0) != "-4(%ebp)" || m.Slot(3) != "-16(%ebp)" {
+		t.Errorf("slots: %q %q", m.Slot(0), m.Slot(3))
+	}
+	m2 := SlotModel{Pattern: "[%%fp%d]", Start: -4, Stride: -4}
+	if m2.Slot(1) != "[%fp-8]" {
+		t.Errorf("sparc slot: %q", m2.Slot(1))
+	}
+}
+
+func TestParametrizeLines(t *testing.T) {
+	byK := map[int][]string{
+		4: {"\tpushl %ebp", "\tsubl $16, %esp"},
+		6: {"\tpushl %ebp", "\tsubl $24, %esp"},
+		8: {"\tpushl %ebp", "\tsubl $32, %esp"},
+	}
+	out, err := parametrizeLines(byK, []int{4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "\tpushl %ebp" {
+		t.Errorf("constant line changed: %q", out[0])
+	}
+	if got := RenderFrameLine(out[1], 10); got != "\tsubl $40, %esp" {
+		t.Errorf("render k=10: %q (template %q)", got, out[1])
+	}
+}
+
+func TestParametrizeRejectsNonLinear(t *testing.T) {
+	byK := map[int][]string{
+		4: {"\tsubl $16, %esp"},
+		6: {"\tsubl $24, %esp"},
+		8: {"\tsubl $40, %esp"},
+	}
+	if _, err := parametrizeLines(byK, []int{4, 6, 8}); err == nil {
+		t.Error("non-linear growth must be rejected")
+	}
+}
+
+func TestMatchLine(t *testing.T) {
+	binds := map[string]string{}
+	if err := matchLine("\tmovl ${k}, {dst}", "\tmovl $29313, -32(%ebp)", binds); err != nil {
+		t.Fatal(err)
+	}
+	if binds["k"] != "29313" || binds["dst"] != "-32(%ebp)" {
+		t.Errorf("binds = %v", binds)
+	}
+	// Conflicting rebinding must fail.
+	if err := matchLine("\taddl {dst}, {dst}", "\taddl %eax, %ebx", map[string]string{}); err == nil {
+		t.Error("conflicting placeholder must fail")
+	}
+	if err := matchLine("\tmovl ${k}", "\taddl $5", map[string]string{}); err == nil {
+		t.Error("literal mismatch must fail")
+	}
+}
+
+func TestMatchTemplateWithKnownBindings(t *testing.T) {
+	tmpl := []string{"\tset {k}, %l0", "\tst %l0, {dst}"}
+	actual := []string{"\tset 29313, %l0", "\tst %l0, [%fp-32]"}
+	binds, n, err := matchTemplate(tmpl, actual, map[string]string{"k": "29313"})
+	if err != nil || n != 2 {
+		t.Fatalf("match: %v n=%d", err, n)
+	}
+	if binds["dst"] != "[%fp-32]" {
+		t.Errorf("dst = %q", binds["dst"])
+	}
+}
+
+func TestTemplateRender(t *testing.T) {
+	tm := &Template{Lines: []string{"\tadd {src1}, {src2}, {dst}"}}
+	got := tm.Render(map[string]string{"src1": "%l0", "src2": "%l1", "dst": "%l2"})
+	if got[0] != "\tadd %l0, %l1, %l2" {
+		t.Errorf("render = %q", got[0])
+	}
+}
+
+func TestRenderFrameLine(t *testing.T) {
+	if got := RenderFrameLine("\tsave %sp, -{frame:96:4}, %sp", 6); got != "\tsave %sp, -120, %sp" {
+		t.Errorf("render = %q", got)
+	}
+	if got := RenderFrameLine("\tnop", 6); got != "\tnop" {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestStrippedPattern(t *testing.T) {
+	if got := strippedForm("%d(%%ebp)"); got != "(%ebp)" {
+		t.Errorf("stripped = %q", got)
+	}
+	if got := strippedForm("[%%fp%d]"); got != "[%fp]" {
+		t.Errorf("stripped = %q", got)
+	}
+}

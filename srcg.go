@@ -1,0 +1,105 @@
+// Package srcg is the public face of a from-scratch reproduction of
+// Christian Collberg's "Reverse Interpretation + Mutation Analysis =
+// Automatic Retargeting" (PLDI 1997): an automatic architecture discovery
+// unit that learns a machine's assembly syntax, register set, calling
+// convention, and instruction semantics purely by interrogating its
+// toolchain — and a BEG-style back-end generator that turns the resulting
+// machine description into a working code generator (Self-Retargeting Code
+// Generation).
+//
+// Quick start:
+//
+//	d, err := srcg.Discover(srcg.NewTarget("x86"), srcg.Options{Seed: 1})
+//	fmt.Println(d.Report())
+//	results := d.Validate(srcg.NewTarget("x86"), srcg.ValidationSuite)
+//
+// Five simulated machines stand in for the paper's physical targets:
+// SPARC, Alpha, MIPS, VAX, and x86, each with its own C compiler,
+// assembler, linker, and instruction-level executor; a sixth ("tera")
+// demonstrates the Lexer's graceful failure on an exotic Scheme-syntax
+// assembler.
+package srcg
+
+import (
+	"fmt"
+	"sort"
+
+	"srcg/internal/core"
+	"srcg/internal/target"
+	"srcg/internal/target/alpha"
+	"srcg/internal/target/mips"
+	"srcg/internal/target/sparc"
+	"srcg/internal/target/tera"
+	"srcg/internal/target/vax"
+	"srcg/internal/target/x86"
+)
+
+// Target is a machine reachable only through its toolchain: a C compiler
+// that emits assembly, an assembler that flags illegal code, a linker, and
+// a remote execution facility — the paper's §2 requirements.
+type Target = target.Toolchain
+
+// Options configures a discovery run.
+type Options = core.Options
+
+// Discovery is the complete result of analyzing a target: the discovered
+// syntax model, per-sample analyses, extracted instruction semantics, and
+// the synthesized machine description.
+type Discovery = core.Discovery
+
+// Program is a mini-C validation program.
+type Program = core.Program
+
+// ValidationSuite is the standard end-to-end program suite.
+var ValidationSuite = core.ValidationSuite
+
+// constructors for the simulated machines.
+var targets = map[string]func() Target{
+	"x86":   func() Target { return x86.New() },
+	"sparc": func() Target { return sparc.New() },
+	"mips":  func() Target { return mips.New() },
+	"alpha": func() Target { return alpha.New() },
+	"vax":   func() Target { return vax.New() },
+	"tera":  func() Target { return tera.New() },
+}
+
+// TargetNames lists the available simulated machines (tera excluded: it
+// exists to demonstrate Lexer failure).
+func TargetNames() []string {
+	names := []string{}
+	for n := range targets {
+		if n != "tera" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewTarget constructs a simulated machine by name ("x86", "sparc",
+// "mips", "alpha", "vax", or "tera"). It panics on unknown names; use
+// LookupTarget to probe.
+func NewTarget(name string) Target {
+	t, err := LookupTarget(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// LookupTarget constructs a simulated machine by name.
+func LookupTarget(name string) (Target, error) {
+	ctor, ok := targets[name]
+	if !ok {
+		return nil, fmt.Errorf("srcg: unknown target %q (have %v)", name, TargetNames())
+	}
+	return ctor(), nil
+}
+
+// Discover runs the complete architecture discovery pipeline (paper
+// Fig. 2) against the target: sample generation, assembler-syntax probing,
+// mutation analysis, data-flow graph construction, reverse interpretation,
+// and machine-description synthesis.
+func Discover(t Target, opts Options) (*Discovery, error) {
+	return core.Discover(t, opts)
+}

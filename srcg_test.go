@@ -1,0 +1,44 @@
+package srcg_test
+
+import (
+	"strings"
+	"testing"
+
+	"srcg"
+)
+
+func TestTargetRegistry(t *testing.T) {
+	names := srcg.TargetNames()
+	if strings.Join(names, ",") != "alpha,mips,sparc,vax,x86" {
+		t.Errorf("TargetNames = %v", names)
+	}
+	for _, n := range names {
+		if srcg.NewTarget(n).Name() != n {
+			t.Errorf("target %q misnamed", n)
+		}
+	}
+	if _, err := srcg.LookupTarget("pdp11"); err == nil {
+		t.Error("unknown target must fail")
+	}
+}
+
+// TestFacadeDiscovery is the README quick-start, verified.
+func TestFacadeDiscovery(t *testing.T) {
+	tgt := srcg.NewTarget("x86")
+	d, err := srcg.Discover(tgt, srcg.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := d.Report()
+	for _, want := range []string{"registers:", "imm range:", "solved"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	results := d.Validate(tgt, srcg.ValidationSuite)
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("validation %s failed: %v", r.Program, r.Err)
+		}
+	}
+}
