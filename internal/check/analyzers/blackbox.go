@@ -1,0 +1,117 @@
+// Package analyzers holds source-level analyzers for the repository
+// itself, in the style of go/analysis passes. The golang.org/x/tools
+// module is not vendored here, so each analyzer is a self-contained
+// struct with the same shape (Name, Doc, Run) driven from a test; CI
+// executes them via `go test ./internal/check/...`.
+package analyzers
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is a minimal stand-in for *analysis.Analyzer: Run inspects the
+// package rooted at dir and returns one Finding per violation.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(dir string) ([]Finding, error)
+}
+
+// Finding locates one violation.
+type Finding struct {
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+}
+
+// DiscoverySide lists the packages that implement the architecture
+// discovery unit. The paper's premise is that the unit learns a machine
+// purely through its toolchain (§2); these packages therefore must not
+// reach into a concrete machine model or target implementation.
+var DiscoverySide = []string{
+	"gen", "lexer", "mutate", "dfg", "extract", "synth", "core",
+	"discovery", "sem", "enquire", "beg", "check",
+}
+
+// forbidden import paths for discovery-side code: the instruction-level
+// machine model (simulator ground truth) and every concrete target.
+var forbidden = []struct {
+	path   string
+	prefix bool
+	why    string
+}{
+	{"srcg/internal/machine", false,
+		"the simulator's ground truth is off-limits to discovery code"},
+	{"srcg/internal/target/", true,
+		"discovery-side code must stay behind the toolchain interface"},
+}
+
+// BlackBox forbids discovery-side packages from importing the machine
+// simulator or any concrete target package. The plain
+// "srcg/internal/target" interface package is allowed — it is the
+// toolchain abstraction itself. Test files are exempt: they may drive
+// real targets end to end.
+var BlackBox = &Analyzer{
+	Name: "blackbox",
+	Doc: "forbid discovery-side packages from importing the machine " +
+		"simulator or concrete target implementations",
+	Run: runBlackBox,
+}
+
+func runBlackBox(dir string) ([]Finding, error) {
+	var findings []Finding
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			for _, rule := range forbidden {
+				bad := ip == rule.path || (rule.prefix && strings.HasPrefix(ip, rule.path))
+				if bad {
+					findings = append(findings, Finding{
+						Pos:     fset.Position(imp.Pos()),
+						Message: fmt.Sprintf("imports %s: %s", ip, rule.why),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		return findings[i].String() < findings[j].String()
+	})
+	return findings, nil
+}
+
+// RunAll applies an analyzer to every discovery-side package under the
+// given internal/ root and returns the combined findings.
+func RunAll(a *Analyzer, internalRoot string) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range DiscoverySide {
+		fs, err := a.Run(filepath.Join(internalRoot, pkg))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg, err)
+		}
+		all = append(all, fs...)
+	}
+	return all, nil
+}

@@ -1,0 +1,49 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBlackBoxClean runs the analyzer over the real tree: no
+// discovery-side package may import the simulator or a concrete target.
+func TestBlackBoxClean(t *testing.T) {
+	findings, err := RunAll(BlackBox, filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestBlackBoxDetects seeds a violating file in a temporary package and
+// asserts the analyzer reports both forbidden import classes.
+func TestBlackBoxDetects(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import (
+	_ "srcg/internal/machine"
+	_ "srcg/internal/target/vax"
+	_ "srcg/internal/target"
+	_ "fmt"
+)
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A test file with the same imports must be exempt.
+	if err := os.WriteFile(filepath.Join(dir, "bad_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := BlackBox.Run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (machine + target/vax, interface and test file exempt), got %d: %v",
+			len(findings), findings)
+	}
+}

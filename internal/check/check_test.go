@@ -1,0 +1,380 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"srcg"
+	"srcg/internal/check"
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/ir"
+	"srcg/internal/mutate"
+	"srcg/internal/synth"
+)
+
+// TestGoldenTargetsClean runs a real discovery on every simulated machine
+// with the checker enabled and requires a completely clean report: the
+// verifier and linter must stay silent on the graphs and specs the
+// pipeline actually produces.
+func TestGoldenTargetsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five full discovery runs")
+	}
+	for _, name := range srcg.TargetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			tc, err := srcg.LookupTarget(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := srcg.Discover(tc, srcg.Options{Seed: 1, Check: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.CheckReport == nil {
+				t.Fatal("Options.Check set but no CheckReport attached")
+			}
+			if len(d.CheckReport.Diags) != 0 {
+				t.Errorf("clean discovery produced diagnostics:\n%s", d.CheckReport)
+			}
+			if len(d.Graphs) == 0 {
+				t.Error("discovery produced no graphs to verify")
+			}
+		})
+	}
+}
+
+// cleanFixture builds a small, internally consistent model + analysis +
+// graph by hand: two steps computing a = op(b) through register r1.
+//
+//	step 0  seti 5, r1        (defines r1)
+//	step 1  store r1, [a]     (reads r1, writes the a-cell)
+//
+// The seeded-fault tests corrupt copies of it and assert the verifier's
+// diagnostic codes.
+func cleanFixture() (*discovery.Model, *mutate.Analysis, *dfg.Graph) {
+	m := &discovery.Model{
+		Arch:      "toy",
+		Registers: []string{"r1", "r2", "fp"},
+		RegSet:    map[string]bool{"r1": true, "r2": true, "fp": true},
+		WordBits:  32,
+		Modes:     []string{"⟨r⟩", "⟨n⟩(⟨r⟩)"},
+		ImmRange:  map[string][2]int64{"seti:0": {-4096, 4095}},
+	}
+	region := []discovery.Instr{
+		{Op: "seti", Args: []discovery.Operand{
+			{Text: "5", Kind: discovery.KLit, Lit: 5},
+			{Text: "r1", Kind: discovery.KReg, Regs: []string{"r1"}},
+		}},
+		{Op: "store", Args: []discovery.Operand{
+			{Text: "r1", Kind: discovery.KReg, Regs: []string{"r1"}},
+			{Text: "-4(fp)", Kind: discovery.KMem, Regs: []string{"fp"}},
+		}},
+	}
+	a := &mutate.Analysis{
+		Sample:     &discovery.Sample{Name: "toy.sample"},
+		Region:     region,
+		Filler:     map[int]bool{},
+		Groups:     [][2]int{{0, 1}, {1, 2}},
+		Reads:      map[string][]int{"r1": {1}, "fp": {1}},
+		Defs:       map[string][]int{"r1": {0}},
+		UseDefs:    map[string][]int{},
+		ExternalIn: []string{"fp"},
+		AWriter:    1,
+	}
+	g := &dfg.Graph{
+		Sample: a.Sample,
+		Labels: map[string]int{},
+		SlotA:  "-4(fp)",
+		Steps: []dfg.Step{
+			{
+				Instr: region[0], Sig: "seti:lit,reg",
+				Ins:  []dfg.Port{{Kind: dfg.PLit, Lit: 5, ArgIdx: 0, Producer: -1}},
+				Outs: []dfg.Port{{Kind: dfg.PReg, Reg: "r1", ArgIdx: 1, Producer: -1}},
+			},
+			{
+				Instr: region[1], Sig: "store:reg,mem",
+				Ins: []dfg.Port{
+					{Kind: dfg.PReg, Reg: "r1", ArgIdx: 0, Producer: 0},
+					{Kind: dfg.PMem, Addr: "-4(fp)", ArgIdx: 1, Producer: -1},
+				},
+				Outs: []dfg.Port{{Kind: dfg.PMem, Addr: "-4(fp)", ArgIdx: 1, Producer: -1}},
+			},
+		},
+	}
+	return m, a, g
+}
+
+// hiddenFixture extends the clean fixture with a compare/branch pair
+// communicating through a hidden channel.
+func hiddenFixture() (*discovery.Model, *mutate.Analysis, *dfg.Graph) {
+	m, a, g := cleanFixture()
+	cmp := discovery.Instr{Op: "cmp", Args: []discovery.Operand{
+		{Text: "r1", Kind: discovery.KReg, Regs: []string{"r1"}},
+		{Text: "r1", Kind: discovery.KReg, Regs: []string{"r1"}},
+	}}
+	br := discovery.Instr{Op: "beq", Args: []discovery.Operand{
+		{Text: "L3", Kind: discovery.KLabelRef, Sym: "L3"},
+	}}
+	a.Region = append(a.Region, cmp, br)
+	a.Groups = append(a.Groups, [2]int{2, 3}, [2]int{3, 4})
+	a.Reads["r1"] = append(a.Reads["r1"], 2)
+	g.Steps = append(g.Steps,
+		dfg.Step{
+			Instr: cmp, Sig: "cmp:reg,reg",
+			Ins: []dfg.Port{
+				{Kind: dfg.PReg, Reg: "r1", ArgIdx: 0, Producer: 0},
+				{Kind: dfg.PReg, Reg: "r1", ArgIdx: 1, Producer: 0},
+			},
+			Outs: []dfg.Port{{Kind: dfg.PHidden, Tag: "cc2", ArgIdx: -1, Producer: -1, KeyName: "h.beq"}},
+		},
+		dfg.Step{
+			Instr: br, Sig: "beq:label", Target: "L3",
+			Ins: []dfg.Port{{Kind: dfg.PHidden, Tag: "cc2", ArgIdx: -1, Producer: 2, KeyName: "h"}},
+		},
+	)
+	g.Labels["L3"] = 4
+	return m, a, g
+}
+
+func TestCleanFixtureVerifies(t *testing.T) {
+	for _, fix := range []func() (*discovery.Model, *mutate.Analysis, *dfg.Graph){
+		cleanFixture, hiddenFixture,
+	} {
+		m, a, g := fix()
+		if diags := check.VerifyGraph(m, a, g); len(diags) != 0 {
+			t.Errorf("clean fixture produced diagnostics: %v", diags)
+		}
+	}
+}
+
+// TestSeededGraphFaults corrupts the fixture graph one invariant at a
+// time and asserts the stable diagnostic code the verifier reports.
+func TestSeededGraphFaults(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(a *mutate.Analysis, g *dfg.Graph)
+		code   string
+	}{
+		{
+			name: "dangling producer: later step",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Steps[1].Ins[0].Producer = 1
+			},
+			code: check.CodeDanglingProducer,
+		},
+		{
+			name: "dangling producer: step defines no such register",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Steps[1].Ins[0].Reg = "r2"
+			},
+			code: check.CodeDanglingProducer,
+		},
+		{
+			name: "dead-register use",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				// The store claims to read r2 from outside the region,
+				// but nothing defines r2 and it is not live-in.
+				g.Steps[1].Ins = append(g.Steps[1].Ins,
+					dfg.Port{Kind: dfg.PReg, Reg: "r2", ArgIdx: -1, Producer: -1})
+				a.Reads["r2"] = []int{1}
+			},
+			code: check.CodeDeadRegisterUse,
+		},
+		{
+			name: "broken hidden channel: writer without reader",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Steps[0].Outs = append(g.Steps[0].Outs,
+					dfg.Port{Kind: dfg.PHidden, Tag: "cc0", ArgIdx: -1, Producer: -1, KeyName: "h.store"})
+			},
+			code: check.CodeHiddenChannel,
+		},
+		{
+			name: "broken hidden channel: reader without producer",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Steps[1].Ins = append(g.Steps[1].Ins,
+					dfg.Port{Kind: dfg.PHidden, Tag: "cc9", ArgIdx: -1, Producer: -1, KeyName: "h"})
+			},
+			code: check.CodeHiddenChannel,
+		},
+		{
+			name: "unresolvable label",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Labels["L9"] = 99
+			},
+			code: check.CodeLabelResolution,
+		},
+		{
+			name: "external wire shadowing a reaching definition",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Steps[1].Ins[0].Producer = -1
+				a.ExternalIn = append(a.ExternalIn, "r1")
+			},
+			code: check.CodeAttributionMismatch,
+		},
+		{
+			name: "step misalignment",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Steps = g.Steps[:1]
+			},
+			code: check.CodeAttributionMismatch,
+		},
+		{
+			name: "vanishing definition",
+			mutate: func(a *mutate.Analysis, g *dfg.Graph) {
+				g.Steps[1].Ins[0].Producer = -1
+				g.Steps[1].Ins[0].Reg = "fp"
+				g.Steps[1].Ins[0].ArgIdx = -1
+				a.Reads["r1"] = nil
+			},
+			code: check.CodeDeadDefinition,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, a, g := cleanFixture()
+			tc.mutate(a, g)
+			diags := check.VerifyGraph(m, a, g)
+			if !hasCode(diags, tc.code) {
+				t.Errorf("want %s, got %v", tc.code, diags)
+			}
+		})
+	}
+}
+
+// specFixture is a minimal self-consistent machine description for the
+// toy model of cleanFixture.
+func specFixture() (*discovery.Model, *synth.Spec) {
+	m, _, _ := cleanFixture()
+	s := &synth.Spec{
+		Arch: "toy", WordBits: 32,
+		Ops: map[ir.Op]*synth.Template{
+			ir.Add: {Name: "Add", Lines: []string{
+				"load {src1}, r1", "load {src2}, r2", "add r1, r2, r1", "store r1, {dst}",
+			}, Instrs: 4},
+			ir.Sub: {Name: "Sub", Lines: []string{
+				"load {src1}, r1", "load {src2}, r2", "sub r1, r2, r1", "store r1, {dst}",
+			}, Instrs: 4},
+		},
+		Const: &synth.Template{Name: "Const", Lines: []string{
+			"seti {k}, r1", "store r1, {dst}",
+		}, Instrs: 2},
+		Main: synth.FrameModel{Slots: synth.SlotModel{Pattern: "%d(fp)", Start: -4, Stride: -4}},
+	}
+	return m, s
+}
+
+func TestCleanSpecLints(t *testing.T) {
+	m, s := specFixture()
+	if diags := check.LintSpec(m, s); len(diags) != 0 {
+		t.Errorf("clean spec produced diagnostics: %v", diags)
+	}
+}
+
+// TestSeededSpecFaults corrupts the machine description one way at a time
+// and asserts the linter's stable codes.
+func TestSeededSpecFaults(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m *discovery.Model, s *synth.Spec)
+		code   string
+	}{
+		{
+			name: "contradictory templates",
+			mutate: func(m *discovery.Model, s *synth.Spec) {
+				s.Ops[ir.Sub] = s.Ops[ir.Add]
+			},
+			code: check.CodeDuplicateTemplate,
+		},
+		{
+			name: "immediate outside the probed range",
+			mutate: func(m *discovery.Model, s *synth.Spec) {
+				s.Const.Lines = []string{"seti 99999, r1", "store r1, {dst}"}
+			},
+			code: check.CodeImmediateRange,
+		},
+		{
+			name: "register classes overlap",
+			mutate: func(m *discovery.Model, s *synth.Spec) {
+				s.Ops[ir.Add].Lines = []string{
+					"load {src1}, fp", "add fp, fp, fp", "store fp, {dst}",
+				}
+			},
+			code: check.CodeRegisterClassOverlap,
+		},
+		{
+			name: "addressing mode never witnessed",
+			mutate: func(m *discovery.Model, s *synth.Spec) {
+				s.Ops[ir.Add].Lines = append(s.Ops[ir.Add].Lines, "load 8(r1+r2), r1")
+			},
+			code: check.CodeUnwitnessedMode,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, s := specFixture()
+			tc.mutate(m, s)
+			diags := check.LintSpec(m, s)
+			if !hasCode(diags, tc.code) {
+				t.Errorf("want %s, got %v", tc.code, diags)
+			}
+		})
+	}
+}
+
+// TestDistinctCodes asserts the seeded-fault suite demonstrates at least
+// four distinct stable SA codes, the acceptance bar for this layer.
+func TestDistinctCodes(t *testing.T) {
+	rep := &check.Report{}
+	m, a, g := cleanFixture()
+	g.Steps[1].Ins[0].Producer = 1
+	rep.Add(check.VerifyGraph(m, a, g)...)
+
+	m, a, g = cleanFixture()
+	g.Steps[1].Ins = append(g.Steps[1].Ins,
+		dfg.Port{Kind: dfg.PReg, Reg: "r2", ArgIdx: -1, Producer: -1})
+	a.Reads["r2"] = []int{1}
+	rep.Add(check.VerifyGraph(m, a, g)...)
+
+	m, a, g = cleanFixture()
+	g.Steps[0].Outs = append(g.Steps[0].Outs,
+		dfg.Port{Kind: dfg.PHidden, Tag: "cc0", ArgIdx: -1, Producer: -1, KeyName: "h.x"})
+	rep.Add(check.VerifyGraph(m, a, g)...)
+
+	m, a, g = cleanFixture()
+	g.Labels["L"] = 42
+	rep.Add(check.VerifyGraph(m, a, g)...)
+
+	ms, s := specFixture()
+	s.Const.Lines = []string{"seti 99999, r1"}
+	rep.Add(check.LintSpec(ms, s)...)
+
+	codes := rep.Codes()
+	if len(codes) < 4 {
+		t.Errorf("only %d distinct codes: %v", len(codes), codes)
+	}
+	want := []string{check.CodeDanglingProducer, check.CodeDeadRegisterUse,
+		check.CodeHiddenChannel, check.CodeLabelResolution, check.CodeImmediateRange}
+	for _, w := range want {
+		if !hasCode(rep.Diags, w) {
+			t.Errorf("code %s missing from %v", w, codes)
+		}
+	}
+	if rep.Errors() == 0 {
+		t.Error("seeded faults produced no Error-severity diagnostics")
+	}
+	if !strings.Contains(rep.String(), check.CodeDanglingProducer) {
+		t.Error("report rendering lost the diagnostic codes")
+	}
+}
+
+func hasCode(diags []check.Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package check
+
+import (
+	"srcg/internal/dfg"
+	"srcg/internal/mutate"
+)
+
+// facts is the per-step dataflow input re-derived for one sample: the
+// def/use sets the mutation engine attributed to each execution group,
+// aligned with the graph steps, plus a conservative control-flow graph
+// built from the region's resolved labels. The reaching-definitions and
+// liveness fixpoints computed over it are may-analyses: every edge that
+// could be taken is present (a transfer whose conditionality is unknown
+// keeps its fall-through edge), so "no definition reaches" and "never
+// read afterwards" are safe claims.
+type facts struct {
+	defs  []map[string]bool // step -> registers the step defines
+	uses  []map[string]bool // step -> registers the step reads
+	succs [][]int           // step -> successor steps (len(steps) = exit)
+	n     int
+}
+
+// buildFacts aligns the analysis execution groups with the graph steps
+// (label-only and pure-filler groups produce no step) and collects
+// per-step def/use sets from the mutation attributions. It returns false
+// when the group sequence cannot be aligned with the steps — a corrupted
+// graph the caller reports.
+func buildFacts(a *mutate.Analysis, g *dfg.Graph) (*facts, bool) {
+	var groups []int
+	for grp := range a.Groups {
+		ins := a.GroupInstr(grp)
+		if ins.Op == "" {
+			continue
+		}
+		if a.Filler[a.Groups[grp][0]] && a.Groups[grp][1]-a.Groups[grp][0] == 1 {
+			continue
+		}
+		groups = append(groups, grp)
+	}
+	if len(groups) != len(g.Steps) {
+		return nil, false
+	}
+	f := &facts{n: len(g.Steps)}
+	f.defs = make([]map[string]bool, f.n)
+	f.uses = make([]map[string]bool, f.n)
+	for i, grp := range groups {
+		f.defs[i] = map[string]bool{}
+		f.uses[i] = map[string]bool{}
+		for reg, gs := range a.Defs {
+			if containsInt(gs, grp) {
+				f.defs[i][reg] = true
+			}
+		}
+		for reg, gs := range a.UseDefs {
+			if containsInt(gs, grp) {
+				f.defs[i][reg] = true
+				f.uses[i][reg] = true
+			}
+		}
+		for reg, gs := range a.Reads {
+			if containsInt(gs, grp) {
+				f.uses[i][reg] = true
+			}
+		}
+	}
+	f.succs = make([][]int, f.n)
+	for i := range g.Steps {
+		f.succs[i] = append(f.succs[i], i+1)
+		if t := g.Steps[i].Target; t != "" {
+			if idx, ok := g.Labels[t]; ok && idx != i+1 {
+				f.succs[i] = append(f.succs[i], idx)
+			}
+		}
+	}
+	return f, true
+}
+
+// reaching computes, for every step, which definitions may reach its
+// entry: reach[i][reg] is the set of step indexes whose definition of reg
+// survives along at least one path to i.
+func (f *facts) reaching() []map[string]map[int]bool {
+	reach := make([]map[string]map[int]bool, f.n)
+	for i := range reach {
+		reach[i] = map[string]map[int]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < f.n; i++ {
+			// Transfer: out = gen ∪ (in − kill).
+			out := map[string]map[int]bool{}
+			for reg, srcs := range reach[i] {
+				if f.defs[i][reg] {
+					continue
+				}
+				for s := range srcs {
+					addReach(out, reg, s)
+				}
+			}
+			for reg := range f.defs[i] {
+				addReach(out, reg, i)
+			}
+			for _, s := range f.succs[i] {
+				if s >= f.n {
+					continue
+				}
+				for reg, srcs := range out {
+					for d := range srcs {
+						if !reach[s][reg][d] {
+							addReach(reach[s], reg, d)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// liveness computes may-liveness: liveOut[i][reg] holds when some path
+// from i's exit reaches a read of reg before any redefinition.
+func (f *facts) liveness() (liveIn, liveOut []map[string]bool) {
+	liveIn = make([]map[string]bool, f.n)
+	liveOut = make([]map[string]bool, f.n)
+	for i := range liveIn {
+		liveIn[i] = map[string]bool{}
+		liveOut[i] = map[string]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := f.n - 1; i >= 0; i-- {
+			for _, s := range f.succs[i] {
+				if s >= f.n {
+					continue
+				}
+				for reg := range liveIn[s] {
+					if !liveOut[i][reg] {
+						liveOut[i][reg] = true
+						changed = true
+					}
+				}
+			}
+			for reg := range liveOut[i] {
+				if !f.defs[i][reg] && !liveIn[i][reg] {
+					liveIn[i][reg] = true
+					changed = true
+				}
+			}
+			for reg := range f.uses[i] {
+				if !liveIn[i][reg] {
+					liveIn[i][reg] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn, liveOut
+}
+
+func addReach(m map[string]map[int]bool, reg string, step int) {
+	if m[reg] == nil {
+		m[reg] = map[int]bool{}
+	}
+	m[reg][step] = true
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"srcg/internal/discovery"
+	"srcg/internal/ir"
+	"srcg/internal/lexer"
+	"srcg/internal/synth"
+)
+
+// LintSpec checks the synthesized machine description against the probed
+// syntax model: no two operations may share one instruction sequence,
+// every emitted immediate must fall inside the range the lexer bisected
+// for that operand, the operation templates' scratch registers must not
+// overlap the frame-base class, and every operand must use an
+// addressing-mode shape some sample witnessed.
+func LintSpec(m *discovery.Model, s *synth.Spec) []Diagnostic {
+	var diags []Diagnostic
+	tmpls := namedTemplates(s)
+
+	// SA010: contradictory templates — identical instruction sequences
+	// claimed to implement different operations.
+	byBody := map[string][]string{}
+	for _, nt := range tmpls {
+		body := strings.Join(nt.t.Lines, "\n")
+		byBody[body] = append(byBody[body], nt.name)
+	}
+	for body, names := range byBody {
+		if len(names) > 1 {
+			sort.Strings(names)
+			diags = append(diags, errf(CodeDuplicateTemplate, "spec", -1,
+				"operations %s share one instruction sequence (%q)",
+				strings.Join(names, ", "), strings.Split(body, "\n")[0]))
+		}
+	}
+
+	// A representative substitution: slot operands for the sources and
+	// destination, a small in-range constant, so template lines become
+	// classifiable instruction text.
+	slot := s.Main.Slots.Slot(0)
+	sub := map[string]string{"src1": slot, "src2": slot, "dst": slot, "k": "1"}
+
+	frameRegs := registersIn(m, slot)
+	scratch := map[string]string{} // register -> first template using it
+
+	for _, nt := range tmpls {
+		for _, raw := range nt.t.Render(sub) {
+			if strings.Contains(raw, "{") {
+				continue // label/procedure placeholders have no syntax to lint
+			}
+			op, args := lexer.SplitLine(raw)
+			if op == "" || strings.HasPrefix(op, ".") {
+				continue
+			}
+			for idx, text := range args {
+				arg := lexer.ClassifyText(m, text)
+				switch arg.Kind {
+				case discovery.KLit:
+					key := fmt.Sprintf("%s:%d", op, idx)
+					if r, ok := m.ImmRange[key]; ok && (arg.Lit < r[0] || arg.Lit > r[1]) {
+						diags = append(diags, errf(CodeImmediateRange, "spec", -1,
+							"template %s emits %q: immediate %d outside the probed range [%d,%d] of %s",
+							nt.name, raw, arg.Lit, r[0], r[1], key))
+					}
+				case discovery.KReg:
+					reg := arg.Regs[0]
+					if _, hard := m.Hardwired[reg]; !hard {
+						if _, seen := scratch[reg]; !seen {
+							scratch[reg] = nt.name
+						}
+					}
+					fallthrough
+				case discovery.KMem:
+					if !witnessedMode(m, arg.ModeShape) {
+						diags = append(diags, errf(CodeUnwitnessedMode, "spec", -1,
+							"template %s operand %q uses addressing mode %s, witnessed by no sample",
+							nt.name, text, arg.ModeShape))
+					}
+				}
+			}
+		}
+	}
+
+	// SA012: the scratch class of the operation templates must not
+	// overlap the frame-base class (hardwired sinks are exempt: writing
+	// to an always-zero register is the architectural no-op the
+	// delay-slot fillers rely on).
+	var overlapping []string
+	for reg := range frameRegs {
+		if tmpl, ok := scratch[reg]; ok {
+			overlapping = append(overlapping, fmt.Sprintf("%s (in %s)", reg, tmpl))
+		}
+	}
+	if len(overlapping) > 0 {
+		sort.Strings(overlapping)
+		diags = append(diags, errf(CodeRegisterClassOverlap, "spec", -1,
+			"frame-base registers double as template scratch registers: %s",
+			strings.Join(overlapping, ", ")))
+	}
+	return diags
+}
+
+type namedTemplate struct {
+	name string
+	t    *synth.Template
+}
+
+// namedTemplates collects every sample-derived template of the spec in a
+// deterministic order. Frame headers and return tails are excluded: they
+// come from the §7.2 procedure probes, not the sample set, so the
+// witnessed-mode ledger does not cover them.
+func namedTemplates(s *synth.Spec) []namedTemplate {
+	var out []namedTemplate
+	add := func(name string, t *synth.Template) {
+		if t != nil && len(t.Lines) > 0 {
+			out = append(out, namedTemplate{name, t})
+		}
+	}
+	ops := make([]int, 0, len(s.Ops))
+	for op := range s.Ops {
+		ops = append(ops, int(op))
+	}
+	sort.Ints(ops)
+	for _, op := range ops {
+		add("Op/"+ir.Op(op).String(), s.Ops[ir.Op(op)])
+	}
+	add("Move", s.Move)
+	add("Const", s.Const)
+	rels := make([]int, 0, len(s.Branches))
+	for rel := range s.Branches {
+		rels = append(rels, int(rel))
+	}
+	sort.Ints(rels)
+	for _, rel := range rels {
+		add("Branch/"+ir.Rel(rel).String(), s.Branches[ir.Rel(rel)])
+	}
+	add("Jump", s.Jump)
+	ns := make([]int, 0, len(s.Calls))
+	for n := range s.Calls {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		add(fmt.Sprintf("Call%d", n), s.Calls[n])
+	}
+	add("Print", s.Print)
+	return out
+}
+
+// registersIn collects the model registers occurring in an operand text.
+func registersIn(m *discovery.Model, text string) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range lexer.ClassifyText(m, text).Regs {
+		out[r] = true
+	}
+	return out
+}
+
+func witnessedMode(m *discovery.Model, shape string) bool {
+	for _, mode := range m.Modes {
+		if mode == shape {
+			return true
+		}
+	}
+	return false
+}

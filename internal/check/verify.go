@@ -1,0 +1,191 @@
+package check
+
+import (
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/mutate"
+)
+
+// VerifyGraph cross-validates one sample's data-flow graph against an
+// independently computed static fixpoint: reaching definitions vouch for
+// every register wire, liveness exposes values that are computed and
+// dropped, hidden-channel endpoints must pair up, and labels must resolve
+// within the region. Only the discovered model and the mutation
+// attributions are consulted — no simulator ground truth.
+func VerifyGraph(m *discovery.Model, a *mutate.Analysis, g *dfg.Graph) []Diagnostic {
+	name := g.Sample.Name
+	var diags []Diagnostic
+
+	for label, idx := range g.Labels {
+		if idx < 0 || idx > len(g.Steps) {
+			diags = append(diags, errf(CodeLabelResolution, name, -1,
+				"label %q resolves to step %d, outside the region's %d steps",
+				label, idx, len(g.Steps)))
+		}
+	}
+	if len(diags) > 0 {
+		// A graph with labels pointing outside the region has no sound
+		// control-flow graph to analyze further.
+		return diags
+	}
+
+	f, ok := buildFacts(a, g)
+	if !ok {
+		return append(diags, errf(CodeAttributionMismatch, name, -1,
+			"analysis has a different execution-group sequence than the graph (%d steps)",
+			len(g.Steps)))
+	}
+	reach := f.reaching()
+	_, liveOut := f.liveness()
+
+	external := map[string]bool{}
+	for _, r := range a.ExternalIn {
+		external[r] = true
+	}
+
+	for i := range g.Steps {
+		st := &g.Steps[i]
+		for _, p := range st.Ins {
+			switch p.Kind {
+			case dfg.PReg:
+				diags = append(diags, verifyRegWire(name, i, p, f, reach, external)...)
+			case dfg.PHidden:
+				if p.Producer < 0 || p.Producer >= i {
+					diags = append(diags, errf(CodeHiddenChannel, name, i,
+						"hidden value %q read without an earlier writer (producer %d)",
+						p.Tag, p.Producer))
+				} else if !hasHiddenOut(&g.Steps[p.Producer], p.Tag) {
+					diags = append(diags, errf(CodeHiddenChannel, name, i,
+						"hidden value %q claims producer step %d, which writes no such value",
+						p.Tag, p.Producer))
+				}
+			}
+		}
+		// A step transferring control out of the region (a call, or a
+		// branch to the End label) hands its register definitions to code
+		// the analysis window cannot see — the Alpha's jsr link register
+		// is read by the callee's return, not by any region step.
+		escapes := st.Target != "" && !targetInRegion(g, st.Target)
+		for _, p := range st.Outs {
+			switch p.Kind {
+			case dfg.PHidden:
+				if !hiddenRead(g, i, p.Tag) {
+					diags = append(diags, errf(CodeHiddenChannel, name, i,
+						"hidden value %q written but never read by a later step", p.Tag))
+				}
+			case dfg.PReg:
+				if escapes {
+					continue
+				}
+				// A dead store that a later step overwrites is a residue
+				// of single-pass redundancy elimination (its consumer was
+				// removed first), as is a duplicate of a surviving step
+				// (b|b loads b twice; eliminating the `or` strands the
+				// second load, but the value still reaches the output
+				// through its twin). Only a value that vanishes — never
+				// read, never overwritten, computed nowhere else —
+				// indicates a broken graph.
+				if !liveOut[i][p.Reg] && !f.uses[i][p.Reg] && !definedLater(f, i, p.Reg) &&
+					!hasTwin(g, i) {
+					diags = append(diags, warnf(CodeDeadDefinition, name, i,
+						"register %s is defined here but never read or overwritten", p.Reg))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// verifyRegWire checks one register input port against the reaching set.
+func verifyRegWire(name string, step int, p dfg.Port, f *facts,
+	reach []map[string]map[int]bool, external map[string]bool) []Diagnostic {
+	if p.Producer >= 0 {
+		switch {
+		case p.Producer >= step:
+			return []Diagnostic{errf(CodeDanglingProducer, name, step,
+				"input %s names step %d as producer, which is not earlier", p.Reg, p.Producer)}
+		case !f.defs[p.Producer][p.Reg]:
+			return []Diagnostic{errf(CodeDanglingProducer, name, step,
+				"input %s names step %d as producer, but that step defines no %s",
+				p.Reg, p.Producer, p.Reg)}
+		case !reach[step][p.Reg][p.Producer]:
+			return []Diagnostic{errf(CodeDanglingProducer, name, step,
+				"the definition of %s at step %d is killed on every path to this use",
+				p.Reg, p.Producer)}
+		}
+		return nil
+	}
+	if len(reach[step][p.Reg]) > 0 {
+		return []Diagnostic{warnf(CodeAttributionMismatch, name, step,
+			"input %s is wired to an external source although a definition reaches it", p.Reg)}
+	}
+	if !external[p.Reg] {
+		return []Diagnostic{errf(CodeDeadRegisterUse, name, step,
+			"input %s has no reaching definition and is not live into the region", p.Reg)}
+	}
+	return nil
+}
+
+// hasTwin reports whether another step computes the same value: same
+// opcode, identical input ports. Such a twin carries the dead step's
+// value to its consumers, so nothing is actually lost.
+func hasTwin(g *dfg.Graph, i int) bool {
+	for j := range g.Steps {
+		if j == i {
+			continue
+		}
+		if g.Steps[j].Instr.Op == g.Steps[i].Instr.Op &&
+			samePorts(g.Steps[j].Ins, g.Steps[i].Ins) {
+			return true
+		}
+	}
+	return false
+}
+
+func samePorts(a, b []dfg.Port) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Reg != b[i].Reg ||
+			a[i].Addr != b[i].Addr || a[i].Lit != b[i].Lit ||
+			a[i].Tag != b[i].Tag {
+			return false
+		}
+	}
+	return true
+}
+
+func targetInRegion(g *dfg.Graph, target string) bool {
+	_, ok := g.Labels[target]
+	return ok
+}
+
+func definedLater(f *facts, step int, reg string) bool {
+	for j := step + 1; j < f.n; j++ {
+		if f.defs[j][reg] {
+			return true
+		}
+	}
+	return false
+}
+
+func hasHiddenOut(st *dfg.Step, tag string) bool {
+	for _, p := range st.Outs {
+		if p.Kind == dfg.PHidden && p.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func hiddenRead(g *dfg.Graph, writer int, tag string) bool {
+	for j := writer + 1; j < len(g.Steps); j++ {
+		for _, p := range g.Steps[j].Ins {
+			if p.Kind == dfg.PHidden && p.Tag == tag && p.Producer == writer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -16,7 +16,7 @@ import (
 func TestBlackBoxDiscipline(t *testing.T) {
 	discoverySide := []string{
 		"gen", "lexer", "mutate", "dfg", "extract", "synth", "core",
-		"discovery", "sem", "enquire", "beg",
+		"discovery", "sem", "enquire", "beg", "check",
 	}
 	for _, pkg := range discoverySide {
 		dir := filepath.Join("..", pkg)

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"srcg/internal/check"
 	"srcg/internal/dfg"
 	"srcg/internal/discovery"
 	"srcg/internal/extract"
@@ -35,6 +36,10 @@ type Options struct {
 	// samples lose their dead branch to redundancy elimination and
 	// value-symmetric misinterpretations slip through.
 	NoVariants bool
+	// Check runs the static verification layer (internal/check) over
+	// every data-flow graph and the synthesized spec, attaching a
+	// CheckReport to the Discovery.
+	Check bool
 }
 
 // constantExpect reports whether every valuation of s expects the same
@@ -68,6 +73,8 @@ type Discovery struct {
 	SpecErr  error // non-fatal synthesis failure ("almost correct" specs)
 	// Skipped samples (preprocessing failures), with reasons.
 	Skipped map[string]string
+	// CheckReport holds the static verifier's findings (Options.Check).
+	CheckReport *check.Report
 }
 
 // Discover runs the full pipeline up to semantic extraction.
@@ -203,6 +210,21 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 		d.SpecErr = err
 	}
 	d.Spec = spec
+
+	if opts.Check {
+		rep := &check.Report{}
+		for _, s := range samples {
+			g, ok := d.Graphs[s.Name]
+			if !ok {
+				continue
+			}
+			rep.Add(check.VerifyGraph(model, d.Analyses[s.Name], g)...)
+		}
+		if spec != nil {
+			rep.Add(check.LintSpec(model, spec)...)
+		}
+		d.CheckReport = rep
+	}
 	return d, nil
 }
 

@@ -1,0 +1,19 @@
+package lexer
+
+import "srcg/internal/discovery"
+
+// SplitLine tokenizes one instruction line (label and comment already
+// removed) into its opcode and operand texts — the same splitting sample
+// extraction uses, exported for the static verification layer.
+func SplitLine(rest string) (op string, args []string) {
+	return tokenizeLine(rest)
+}
+
+// ClassifyText classifies one operand text under the model alone, with no
+// label context: kind, embedded registers, literal value, and
+// addressing-mode shape, exactly as sample classification computes them.
+func ClassifyText(m *discovery.Model, text string) discovery.Operand {
+	a := discovery.Operand{Text: text}
+	classifyOperand(m, nil, &a)
+	return a
+}

@@ -1,0 +1,476 @@
+package mips
+
+import (
+	"fmt"
+	"strings"
+
+	"srcg/internal/asm"
+	"srcg/internal/cc"
+	"srcg/internal/ir"
+)
+
+// compileC lowers mini-C to MIPS assembly. Named values live in frame
+// slots below $fp; expressions are evaluated in $8..$15 with a fresh
+// destination register per operation; $4..$7 carry arguments and $2 the
+// return value. Multiplication and division run through the hidden hi/lo
+// registers via mult/div + mflo/mfhi.
+func compileC(src string) (string, error) {
+	u, err := cc.CompileUnit(src)
+	if err != nil {
+		return "", err
+	}
+	g := &gen{unit: u}
+	for _, f := range u.Funcs {
+		if err := g.genFunc(f); err != nil {
+			return "", err
+		}
+	}
+	for _, gl := range u.Globals {
+		g.raw("\t.comm " + gl.Name + ", 4")
+	}
+	for _, s := range u.Strings {
+		g.raw(s.Label + ":\t.asciz \"" + asm.EscapeString(s.Value) + "\"")
+	}
+	return g.buf.String(), nil
+}
+
+// pool is the expression-temporary allocation order.
+var pool = []string{"$8", "$9", "$10", "$11", "$12", "$13", "$14", "$15"}
+
+// maxScratch frame slots hold values that must survive a nested call.
+const maxScratch = 4
+
+type gen struct {
+	buf     strings.Builder
+	unit    *ir.Unit
+	fn      *ir.Func
+	busy    map[string]bool
+	nparams int
+	nslots  int
+	frame   int
+	scratch int
+}
+
+func (g *gen) raw(s string)                          { g.buf.WriteString(s + "\n") }
+func (g *gen) ins(f string, a ...interface{})        { g.raw("\t" + fmt.Sprintf(f, a...)) }
+func (g *gen) label(name string)                     { g.raw(name + ":") }
+func (g *gen) errf(f string, a ...interface{}) error { return fmt.Errorf("mips-cc: "+f, a...) }
+
+func (g *gen) alloc() (string, bool) {
+	for _, r := range pool {
+		if !g.busy[r] {
+			g.busy[r] = true
+			return r, true
+		}
+	}
+	return "", false
+}
+
+func (g *gen) release(r string) { delete(g.busy, r) }
+
+func (g *gen) freeCount() int {
+	n := 0
+	for _, r := range pool {
+		if !g.busy[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// slotOff returns the $fp-relative offset of a named local or parameter.
+func (g *gen) slotOff(l ir.Local) int {
+	if l.IsParam {
+		return -4 * (l.Index + 1)
+	}
+	return -4 * (g.nparams + l.Index + 1)
+}
+
+// slot renders the frame-slot operand for a named local or parameter.
+func (g *gen) slot(l ir.Local) string {
+	return fmt.Sprintf("%d($fp)", g.slotOff(l))
+}
+
+// scratchPush reserves a spill slot beyond the named slots.
+func (g *gen) scratchPush() (string, error) {
+	if g.scratch >= maxScratch {
+		return "", g.errf("expression too deep: out of spill slots")
+	}
+	g.scratch++
+	return fmt.Sprintf("%d($fp)", -4*(g.nslots+g.scratch)), nil
+}
+
+func (g *gen) scratchPop() { g.scratch-- }
+
+// isLeaf reports whether n loads into a register without temporaries.
+func (g *gen) isLeaf(n *ir.Node) bool {
+	switch n.Op {
+	case ir.Const, ir.Addr:
+		return true
+	case ir.Load:
+		return n.Kids[0].Op == ir.Addr
+	}
+	return false
+}
+
+// loadLeaf emits code placing leaf n into register r.
+func (g *gen) loadLeaf(n *ir.Node, r string) error {
+	switch n.Op {
+	case ir.Const:
+		g.ins("li %s, %d", r, n.Value)
+	case ir.Load:
+		name := n.Kids[0].Name
+		if l, isLocal := g.fn.LookupLocal(name); isLocal {
+			g.ins("lw %s, %s", r, g.slot(l))
+		} else {
+			g.ins("lw %s, %s", r, name)
+		}
+	case ir.Addr:
+		if l, isLocal := g.fn.LookupLocal(n.Name); isLocal {
+			g.ins("addu %s, $fp, %d", r, g.slotOff(l))
+		} else {
+			g.ins("la %s, %s", r, n.Name)
+		}
+	default:
+		return g.errf("not a leaf: %s", n)
+	}
+	return nil
+}
+
+func (g *gen) genFunc(f *ir.Func) error {
+	g.fn = f
+	g.busy = map[string]bool{}
+	g.scratch = 0
+	g.nparams = 0
+	nlocals := 0
+	for _, l := range f.Locals {
+		if l.IsParam {
+			g.nparams++
+		} else {
+			nlocals++
+		}
+	}
+	if g.nparams > 3 {
+		return g.errf("%s: more than 3 parameters", f.Name)
+	}
+	g.nslots = g.nparams + nlocals
+	g.frame = 8 + 4*g.nslots + 4*maxScratch
+	g.raw("\t.globl " + f.Name)
+	g.label(f.Name)
+	g.ins("subu $sp, $sp, %d", g.frame)
+	g.ins("sw $31, %d($sp)", g.frame-4)
+	g.ins("sw $fp, %d($sp)", g.frame-8)
+	g.ins("addu $fp, $sp, %d", g.frame-8)
+	for _, l := range f.Locals {
+		if l.IsParam {
+			g.ins("sw $%d, %s", 4+l.Index, g.slot(l))
+		}
+	}
+	for _, st := range f.Body {
+		if err := g.genStmt(st); err != nil {
+			return err
+		}
+	}
+	if !endsFlow(f.Body) {
+		g.epilogue()
+	}
+	return nil
+}
+
+// endsFlow reports whether the function body already ends in a return or a
+// call to exit, making a trailing epilogue dead code.
+func endsFlow(body []*ir.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	last := body[len(body)-1]
+	if last.Kind == ir.SRet {
+		return true
+	}
+	return last.Kind == ir.SExpr && last.Val != nil && last.Val.Op == ir.Call && last.Val.Name == "exit"
+}
+
+func (g *gen) epilogue() {
+	g.ins("lw $31, 4($fp)")
+	g.ins("addu $sp, $fp, 8")
+	g.ins("lw $fp, 0($fp)")
+	g.ins("jr $31")
+}
+
+func (g *gen) genStmt(st *ir.Stmt) error {
+	switch st.Kind {
+	case ir.SLabel:
+		g.label(st.Target)
+	case ir.SGoto:
+		g.ins("j %s", st.Target)
+	case ir.SBranch:
+		return g.genBranch(st)
+	case ir.SStore:
+		return g.genStore(st.Addr, st.Val)
+	case ir.SExpr:
+		if st.Val != nil && st.Val.Op == ir.Call {
+			return g.genCall(st.Val)
+		}
+	case ir.SRet:
+		if st.Val != nil {
+			if g.isLeaf(st.Val) {
+				if err := g.loadLeaf(st.Val, "$2"); err != nil {
+					return err
+				}
+			} else {
+				r, err := g.evalReg(st.Val)
+				if err != nil {
+					return err
+				}
+				g.ins("addu $2, %s, $0", r)
+				g.release(r)
+			}
+		}
+		g.epilogue()
+	}
+	return nil
+}
+
+var branchOps = map[ir.Rel]string{
+	ir.EQ: "beq", ir.NE: "bne", ir.LT: "blt", ir.LE: "ble", ir.GT: "bgt", ir.GE: "bge",
+}
+
+func (g *gen) genBranch(st *ir.Stmt) error {
+	rA, err := g.evalReg(st.A)
+	if err != nil {
+		return err
+	}
+	rB := "$0"
+	if st.B.Op != ir.Const || st.B.Value != 0 {
+		rB, err = g.evalReg(st.B)
+		if err != nil {
+			return err
+		}
+		defer g.release(rB)
+	}
+	g.release(rA)
+	g.ins("%s %s, %s, %s", branchOps[st.Rel], rA, rB, st.Target)
+	return nil
+}
+
+func (g *gen) genStore(addr, val *ir.Node) error {
+	if val.Op == ir.Call {
+		if err := g.genCall(val); err != nil {
+			return err
+		}
+		return g.storeReg("$2", addr)
+	}
+	r, err := g.evalReg(val)
+	if err != nil {
+		return err
+	}
+	err = g.storeReg(r, addr)
+	g.release(r)
+	return err
+}
+
+// storeReg stores register r to the location named by addr.
+func (g *gen) storeReg(r string, addr *ir.Node) error {
+	if addr.Op == ir.Addr {
+		if l, isLocal := g.fn.LookupLocal(addr.Name); isLocal {
+			g.ins("sw %s, %s", r, g.slot(l))
+		} else {
+			g.ins("sw %s, %s", r, addr.Name)
+		}
+		return nil
+	}
+	ra, err := g.evalReg(addr)
+	if err != nil {
+		return err
+	}
+	g.ins("sw %s, 0(%s)", r, ra)
+	g.release(ra)
+	return nil
+}
+
+var binOps = map[ir.Op]string{
+	ir.Add: "add", ir.Sub: "subu", ir.And: "and", ir.Or: "or", ir.Xor: "xor",
+	ir.Shl: "sllv", ir.Shr: "srav",
+}
+
+// evalReg evaluates n into a freshly allocated pool register.
+func (g *gen) evalReg(n *ir.Node) (string, error) {
+	switch {
+	case g.isLeaf(n):
+		r, ok := g.alloc()
+		if !ok {
+			return "", g.errf("register pool exhausted")
+		}
+		return r, g.loadLeaf(n, r)
+	case n.Op == ir.Load: // *p as an rvalue
+		r, err := g.evalReg(n.Kids[0])
+		if err != nil {
+			return "", err
+		}
+		g.ins("lw %s, 0(%s)", r, r)
+		return r, nil
+	case n.Op == ir.Neg || n.Op == ir.Not:
+		r, err := g.evalReg(n.Kids[0])
+		if err != nil {
+			return "", err
+		}
+		d, ok := g.alloc()
+		if !ok {
+			return "", g.errf("register pool exhausted")
+		}
+		if n.Op == ir.Neg {
+			g.ins("subu %s, $0, %s", d, r)
+		} else {
+			g.ins("nor %s, %s, $0", d, r)
+		}
+		g.release(r)
+		return d, nil
+	case n.Op == ir.Mul || n.Op == ir.Div || n.Op == ir.Mod:
+		return g.mulDiv(n)
+	case n.Op == ir.Call:
+		if err := g.genCall(n); err != nil {
+			return "", err
+		}
+		r, ok := g.alloc()
+		if !ok {
+			return "", g.errf("register pool exhausted")
+		}
+		g.ins("addu %s, $2, $0", r)
+		return r, nil
+	case n.Op.IsBinary():
+		return g.binary(n)
+	}
+	return "", g.errf("cannot evaluate %s", n)
+}
+
+// operands evaluates both children of a binary node, spilling the left
+// value into the frame when the right one contains a call.
+func (g *gen) operands(n *ir.Node) (string, string, error) {
+	l, err := g.evalReg(n.Kids[0])
+	if err != nil {
+		return "", "", err
+	}
+	if n.Kids[1].ContainsCall() || g.freeCount() < 2 {
+		sl, err := g.scratchPush()
+		if err != nil {
+			return "", "", err
+		}
+		g.ins("sw %s, %s", l, sl)
+		g.release(l)
+		r, err := g.evalReg(n.Kids[1])
+		if err != nil {
+			return "", "", err
+		}
+		l2, ok := g.alloc()
+		if !ok {
+			return "", "", g.errf("register pool exhausted")
+		}
+		g.ins("lw %s, %s", l2, sl)
+		g.scratchPop()
+		return l2, r, nil
+	}
+	r, err := g.evalReg(n.Kids[1])
+	if err != nil {
+		return "", "", err
+	}
+	return l, r, nil
+}
+
+func (g *gen) binary(n *ir.Node) (string, error) {
+	op, ok := binOps[n.Op]
+	if !ok {
+		return "", g.errf("no opcode for %s", n.Op)
+	}
+	l, r, err := g.operands(n)
+	if err != nil {
+		return "", err
+	}
+	d, okd := g.alloc()
+	if !okd {
+		return "", g.errf("register pool exhausted")
+	}
+	g.ins("%s %s, %s, %s", op, d, l, r)
+	g.release(l)
+	g.release(r)
+	return d, nil
+}
+
+// mulDiv routes multiplication and division through the hidden hi/lo
+// registers: mult/div write them, mflo/mfhi read them back.
+func (g *gen) mulDiv(n *ir.Node) (string, error) {
+	l, r, err := g.operands(n)
+	if err != nil {
+		return "", err
+	}
+	if n.Op == ir.Mul {
+		g.ins("mult %s, %s", l, r)
+	} else {
+		g.ins("div %s, %s", l, r)
+	}
+	d, ok := g.alloc()
+	if !ok {
+		return "", g.errf("register pool exhausted")
+	}
+	if n.Op == ir.Mod {
+		g.ins("mfhi %s", d)
+	} else {
+		g.ins("mflo %s", d)
+	}
+	g.release(l)
+	g.release(r)
+	return d, nil
+}
+
+// genCall loads arguments into $4.., staging them through the frame when a
+// later argument contains a nested call, then jumps with jal.
+func (g *gen) genCall(n *ir.Node) error {
+	if len(n.Kids) > 3 {
+		return g.errf("call %s: more than 3 arguments", n.Name)
+	}
+	anyCall := false
+	for _, k := range n.Kids {
+		if k.ContainsCall() {
+			anyCall = true
+		}
+	}
+	if anyCall && len(n.Kids) > 1 {
+		slots := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			r, err := g.evalReg(k)
+			if err != nil {
+				return err
+			}
+			sl, err := g.scratchPush()
+			if err != nil {
+				return err
+			}
+			g.ins("sw %s, %s", r, sl)
+			g.release(r)
+			slots[i] = sl
+		}
+		for i, sl := range slots {
+			g.ins("lw $%d, %s", 4+i, sl)
+		}
+		for range slots {
+			g.scratchPop()
+		}
+	} else {
+		for i, k := range n.Kids {
+			dst := fmt.Sprintf("$%d", 4+i)
+			if g.isLeaf(k) {
+				if err := g.loadLeaf(k, dst); err != nil {
+					return err
+				}
+			} else {
+				r, err := g.evalReg(k)
+				if err != nil {
+					return err
+				}
+				g.ins("addu %s, %s, $0", dst, r)
+				g.release(r)
+			}
+		}
+	}
+	g.ins("jal %s", n.Name)
+	return nil
+}

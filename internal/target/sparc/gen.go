@@ -1,0 +1,625 @@
+package sparc
+
+import (
+	"fmt"
+	"strings"
+
+	"srcg/internal/asm"
+	"srcg/internal/cc"
+	"srcg/internal/ir"
+)
+
+// compileC lowers mini-C to SPARC assembly. All named values live in frame
+// slots below %fp; expressions are evaluated in the %l registers; %o0/%o1
+// carry arguments to the millicode multiply/divide routines and to
+// functions; %g1 stages global-variable addresses.
+func compileC(src string) (string, error) {
+	u, err := cc.CompileUnit(src)
+	if err != nil {
+		return "", err
+	}
+	g := &gen{unit: u}
+	for _, f := range u.Funcs {
+		if err := g.genFunc(f); err != nil {
+			return "", err
+		}
+	}
+	for _, gl := range u.Globals {
+		g.raw("\t.comm " + gl.Name + ", 4")
+	}
+	for _, s := range u.Strings {
+		g.raw(s.Label + ":\t.asciz \"" + asm.EscapeString(s.Value) + "\"")
+	}
+	return g.buf.String(), nil
+}
+
+// pool is the expression-temporary allocation order.
+var pool = []string{"%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7"}
+
+// maxScratch frame slots hold values that must survive a nested call.
+const maxScratch = 4
+
+type gen struct {
+	buf     strings.Builder
+	unit    *ir.Unit
+	fn      *ir.Func
+	busy    map[string]bool
+	nparams int
+	nslots  int
+	frame   int
+	scratch int
+}
+
+func (g *gen) raw(s string)                          { g.buf.WriteString(s + "\n") }
+func (g *gen) ins(f string, a ...interface{})        { g.raw("\t" + fmt.Sprintf(f, a...)) }
+func (g *gen) label(name string)                     { g.raw(name + ":") }
+func (g *gen) errf(f string, a ...interface{}) error { return fmt.Errorf("sparc-cc: "+f, a...) }
+
+func (g *gen) alloc() (string, bool) {
+	for _, r := range pool {
+		if !g.busy[r] {
+			g.busy[r] = true
+			return r, true
+		}
+	}
+	return "", false
+}
+
+func (g *gen) release(r string) { delete(g.busy, r) }
+
+func (g *gen) freeCount() int {
+	n := 0
+	for _, r := range pool {
+		if !g.busy[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// mem renders a register-relative memory operand.
+func mem(base string, disp int) string {
+	switch {
+	case disp == 0:
+		return "[" + base + "]"
+	case disp > 0:
+		return fmt.Sprintf("[%s+%d]", base, disp)
+	}
+	return fmt.Sprintf("[%s%d]", base, disp)
+}
+
+// slot returns the frame-slot operand for a named local or parameter.
+// Parameters occupy the first slots below %fp, locals the next.
+func (g *gen) slot(l ir.Local) string {
+	if l.IsParam {
+		return mem("%fp", -4*(l.Index+1))
+	}
+	return mem("%fp", -4*(g.nparams+l.Index+1))
+}
+
+// scratchPush reserves a spill slot beyond the named slots.
+func (g *gen) scratchPush() (string, error) {
+	if g.scratch >= maxScratch {
+		return "", g.errf("expression too deep: out of spill slots")
+	}
+	g.scratch++
+	return mem("%fp", -4*(g.nslots+g.scratch)), nil
+}
+
+func (g *gen) scratchPop() { g.scratch-- }
+
+// isData reports whether name is a data symbol rather than a function.
+func (g *gen) isData(name string) bool {
+	for _, f := range g.unit.Funcs {
+		if f.Name == name {
+			return false
+		}
+	}
+	return true
+}
+
+// isLeaf reports whether n can be loaded into a register without any
+// temporaries: a constant, a named load, or an address.
+func (g *gen) isLeaf(n *ir.Node) bool {
+	switch n.Op {
+	case ir.Const, ir.Addr:
+		return true
+	case ir.Load:
+		return n.Kids[0].Op == ir.Addr
+	}
+	return false
+}
+
+// delayable reports whether n loads into a register with one instruction,
+// making it legal cargo for a call's delay slot.
+func (g *gen) delayable(n *ir.Node) bool {
+	if n.Op == ir.Const {
+		return true
+	}
+	if n.Op == ir.Load && n.Kids[0].Op == ir.Addr {
+		_, isLocal := g.fn.LookupLocal(n.Kids[0].Name)
+		return isLocal
+	}
+	return false
+}
+
+// loadLeaf emits code placing leaf n into register r.
+func (g *gen) loadLeaf(n *ir.Node, r string) error {
+	switch n.Op {
+	case ir.Const:
+		g.ins("set %d, %s", n.Value, r)
+	case ir.Load:
+		name := n.Kids[0].Name
+		if l, isLocal := g.fn.LookupLocal(name); isLocal {
+			g.ins("ld %s, %s", g.slot(l), r)
+		} else {
+			g.ins("set %s, %s", name, r)
+			g.ins("ld %s, %s", mem(r, 0), r)
+		}
+	case ir.Addr:
+		if l, isLocal := g.fn.LookupLocal(n.Name); isLocal {
+			off := -4 * (l.Index + 1)
+			if !l.IsParam {
+				off = -4 * (g.nparams + l.Index + 1)
+			}
+			g.ins("add %%fp, %d, %s", off, r)
+		} else {
+			g.ins("set %s, %s", n.Name, r)
+		}
+	default:
+		return g.errf("not a leaf: %s", n)
+	}
+	return nil
+}
+
+// dangerous reports whether evaluating n routes through the %o registers —
+// a function call or a millicode multiply/divide anywhere inside.
+func dangerous(n *ir.Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == ir.Call || n.Op == ir.Mul || n.Op == ir.Div || n.Op == ir.Mod {
+		return true
+	}
+	for _, k := range n.Kids {
+		if dangerous(k) {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *gen) genFunc(f *ir.Func) error {
+	g.fn = f
+	g.busy = map[string]bool{}
+	g.scratch = 0
+	g.nparams = 0
+	nlocals := 0
+	for _, l := range f.Locals {
+		if l.IsParam {
+			g.nparams++
+		} else {
+			nlocals++
+		}
+	}
+	if g.nparams > 3 {
+		return g.errf("%s: more than 3 parameters", f.Name)
+	}
+	g.nslots = g.nparams + nlocals
+	g.frame = 8 + 4*g.nslots + 4*maxScratch
+	g.raw("\t.globl " + f.Name)
+	g.label(f.Name)
+	g.ins("add %%sp, %d, %%sp", -g.frame)
+	g.ins("st %%o7, [%%sp]")
+	g.ins("st %%fp, [%%sp+4]")
+	g.ins("add %%sp, %d, %%fp", g.frame)
+	for _, l := range f.Locals {
+		if l.IsParam {
+			g.ins("st %%o%d, %s", l.Index, g.slot(l))
+		}
+	}
+	for _, st := range f.Body {
+		if err := g.genStmt(st); err != nil {
+			return err
+		}
+	}
+	if !endsFlow(f.Body) {
+		g.epilogue()
+	}
+	return nil
+}
+
+// endsFlow reports whether the function body already ends in a return or a
+// call to exit, making a trailing epilogue dead code.
+func endsFlow(body []*ir.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	last := body[len(body)-1]
+	if last.Kind == ir.SRet {
+		return true
+	}
+	return last.Kind == ir.SExpr && last.Val != nil && last.Val.Op == ir.Call && last.Val.Name == "exit"
+}
+
+func (g *gen) epilogue() {
+	g.ins("ld [%%sp], %%o7")
+	g.ins("ld [%%sp+4], %%fp")
+	g.ins("add %%sp, %d, %%sp", g.frame)
+	g.ins("retl")
+}
+
+func (g *gen) genStmt(st *ir.Stmt) error {
+	switch st.Kind {
+	case ir.SLabel:
+		g.label(st.Target)
+	case ir.SGoto:
+		g.ins("b %s", st.Target)
+	case ir.SBranch:
+		return g.genBranch(st)
+	case ir.SStore:
+		return g.genStore(st.Addr, st.Val)
+	case ir.SExpr:
+		if st.Val != nil && st.Val.Op == ir.Call {
+			return g.genCall(st.Val)
+		}
+	case ir.SRet:
+		if st.Val != nil {
+			if g.isLeaf(st.Val) {
+				if err := g.loadLeaf(st.Val, "%o0"); err != nil {
+					return err
+				}
+			} else {
+				r, err := g.evalReg(st.Val)
+				if err != nil {
+					return err
+				}
+				g.ins("or %s, %%g0, %%o0", r)
+				g.release(r)
+			}
+		}
+		g.epilogue()
+	}
+	return nil
+}
+
+var branchOps = map[ir.Rel]string{
+	ir.EQ: "be", ir.NE: "bne", ir.LT: "bl", ir.LE: "ble", ir.GT: "bg", ir.GE: "bge",
+}
+
+func (g *gen) genBranch(st *ir.Stmt) error {
+	rA, err := g.evalReg(st.A)
+	if err != nil {
+		return err
+	}
+	switch {
+	case st.B.Op == ir.Const && st.B.Value == 0:
+		g.ins("cmp %s, %%g0", rA)
+	case st.B.Op == ir.Const && st.B.Value >= -4096 && st.B.Value <= 4095:
+		g.ins("cmp %s, %d", rA, st.B.Value)
+	default:
+		rB, err := g.evalReg(st.B)
+		if err != nil {
+			return err
+		}
+		g.ins("cmp %s, %s", rA, rB)
+		g.release(rB)
+	}
+	g.release(rA)
+	g.ins("%s %s", branchOps[st.Rel], st.Target)
+	return nil
+}
+
+func (g *gen) genStore(addr, val *ir.Node) error {
+	switch {
+	case val.Op == ir.Call:
+		if err := g.genCall(val); err != nil {
+			return err
+		}
+		return g.storeReg("%o0", addr)
+	case val.Op == ir.Mul || val.Op == ir.Div || val.Op == ir.Mod:
+		if err := g.mulCall(val); err != nil {
+			return err
+		}
+		return g.storeReg("%o0", addr)
+	case g.isLeaf(val):
+		r, ok := g.alloc()
+		if !ok {
+			return g.errf("register pool exhausted")
+		}
+		if err := g.loadLeaf(val, r); err != nil {
+			return err
+		}
+		err := g.storeReg(r, addr)
+		g.release(r)
+		return err
+	default:
+		r, err := g.evalReg(val)
+		if err != nil {
+			return err
+		}
+		err = g.storeReg(r, addr)
+		g.release(r)
+		return err
+	}
+}
+
+// storeReg stores register r to the location named by addr: a frame slot,
+// a global (staged through %g1), or a computed pointer.
+func (g *gen) storeReg(r string, addr *ir.Node) error {
+	if addr.Op == ir.Addr {
+		if l, isLocal := g.fn.LookupLocal(addr.Name); isLocal {
+			g.ins("st %s, %s", r, g.slot(l))
+			return nil
+		}
+		g.ins("set %s, %%g1", addr.Name)
+		g.ins("st %s, [%%g1]", r)
+		return nil
+	}
+	ra, err := g.evalReg(addr)
+	if err != nil {
+		return err
+	}
+	g.ins("st %s, %s", r, mem(ra, 0))
+	g.release(ra)
+	return nil
+}
+
+var binOps = map[ir.Op]string{
+	ir.Add: "add", ir.Sub: "sub", ir.And: "and", ir.Or: "or", ir.Xor: "xor",
+	ir.Shl: "sll", ir.Shr: "sra",
+}
+
+// evalReg evaluates n into a freshly allocated %l register.
+func (g *gen) evalReg(n *ir.Node) (string, error) {
+	switch {
+	case g.isLeaf(n):
+		r, ok := g.alloc()
+		if !ok {
+			return "", g.errf("register pool exhausted")
+		}
+		return r, g.loadLeaf(n, r)
+	case n.Op == ir.Load: // *p as an rvalue
+		r, err := g.evalReg(n.Kids[0])
+		if err != nil {
+			return "", err
+		}
+		g.ins("ld %s, %s", mem(r, 0), r)
+		return r, nil
+	case n.Op == ir.Neg:
+		r, err := g.evalReg(n.Kids[0])
+		if err != nil {
+			return "", err
+		}
+		g.ins("sub %%g0, %s, %s", r, r)
+		return r, nil
+	case n.Op == ir.Not:
+		r, err := g.evalReg(n.Kids[0])
+		if err != nil {
+			return "", err
+		}
+		g.ins("xnor %s, %%g0, %s", r, r)
+		return r, nil
+	case n.Op == ir.Mul || n.Op == ir.Div || n.Op == ir.Mod:
+		if err := g.mulCall(n); err != nil {
+			return "", err
+		}
+		r, ok := g.alloc()
+		if !ok {
+			return "", g.errf("register pool exhausted")
+		}
+		g.ins("or %%o0, %%g0, %s", r)
+		return r, nil
+	case n.Op == ir.Call:
+		if err := g.genCall(n); err != nil {
+			return "", err
+		}
+		r, ok := g.alloc()
+		if !ok {
+			return "", g.errf("register pool exhausted")
+		}
+		g.ins("or %%o0, %%g0, %s", r)
+		return r, nil
+	case n.Op.IsBinary():
+		return g.binary(n)
+	}
+	return "", g.errf("cannot evaluate %s", n)
+}
+
+func (g *gen) binary(n *ir.Node) (string, error) {
+	op, ok := binOps[n.Op]
+	if !ok {
+		return "", g.errf("no opcode for %s", n.Op)
+	}
+	l, err := g.evalReg(n.Kids[0])
+	if err != nil {
+		return "", err
+	}
+	if n.Kids[1].ContainsCall() || g.freeCount() == 0 {
+		// Spill the left value into the frame across the right-hand
+		// evaluation: a function call would clobber every %l register.
+		sl, err := g.scratchPush()
+		if err != nil {
+			return "", err
+		}
+		g.ins("st %s, %s", l, sl)
+		g.release(l)
+		r, err := g.evalReg(n.Kids[1])
+		if err != nil {
+			return "", err
+		}
+		l2, ok := g.alloc()
+		if !ok {
+			return "", g.errf("register pool exhausted")
+		}
+		g.ins("ld %s, %s", sl, l2)
+		g.scratchPop()
+		g.ins("%s %s, %s, %s", op, l2, r, l2)
+		g.release(r)
+		return l2, nil
+	}
+	r, err := g.evalReg(n.Kids[1])
+	if err != nil {
+		return "", err
+	}
+	g.ins("%s %s, %s, %s", op, l, r, l)
+	g.release(r)
+	return l, nil
+}
+
+var milliOps = map[ir.Op]string{ir.Mul: ".mul", ir.Div: ".div", ir.Mod: ".rem"}
+
+// mulCall evaluates a multiply/divide/remainder through the millicode
+// routines: operands in %o0/%o1, result in %o0. When the second operand is
+// a one-instruction leaf it rides in the call's delay slot.
+func (g *gen) mulCall(n *ir.Node) error {
+	op := milliOps[n.Op]
+	if dangerous(n.Kids[1]) {
+		// The right-hand side passes through %o0/%o1 itself: evaluate both
+		// sides into %l registers first.
+		l, err := g.evalReg(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		if n.Kids[1].ContainsCall() {
+			sl, err := g.scratchPush()
+			if err != nil {
+				return err
+			}
+			g.ins("st %s, %s", l, sl)
+			g.release(l)
+			r, err := g.evalReg(n.Kids[1])
+			if err != nil {
+				return err
+			}
+			l2, ok := g.alloc()
+			if !ok {
+				return g.errf("register pool exhausted")
+			}
+			g.ins("ld %s, %s", sl, l2)
+			g.scratchPop()
+			g.ins("or %s, %%g0, %%o0", l2)
+			g.ins("or %s, %%g0, %%o1", r)
+			g.release(l2)
+			g.release(r)
+		} else {
+			r, err := g.evalReg(n.Kids[1])
+			if err != nil {
+				return err
+			}
+			g.ins("or %s, %%g0, %%o0", l)
+			g.ins("or %s, %%g0, %%o1", r)
+			g.release(l)
+			g.release(r)
+		}
+		g.ins("call %s", op)
+		g.ins("nop")
+		return nil
+	}
+	if g.isLeaf(n.Kids[0]) {
+		if err := g.loadLeaf(n.Kids[0], "%o0"); err != nil {
+			return err
+		}
+	} else {
+		r, err := g.evalReg(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		g.ins("or %s, %%g0, %%o0", r)
+		g.release(r)
+	}
+	if g.delayable(n.Kids[1]) {
+		g.ins("call %s", op)
+		return g.loadLeaf(n.Kids[1], "%o1")
+	}
+	if g.isLeaf(n.Kids[1]) {
+		if err := g.loadLeaf(n.Kids[1], "%o1"); err != nil {
+			return err
+		}
+	} else {
+		r, err := g.evalReg(n.Kids[1])
+		if err != nil {
+			return err
+		}
+		g.ins("or %s, %%g0, %%o1", r)
+		g.release(r)
+	}
+	g.ins("call %s", op)
+	g.ins("nop")
+	return nil
+}
+
+// genCall loads arguments into %o0.., with the last one in the delay slot
+// when it is a one-instruction leaf. Builtins (printf, exit) always take
+// their arguments before the call, leaving a nop in the slot.
+func (g *gen) genCall(n *ir.Node) error {
+	if len(n.Kids) > 3 {
+		return g.errf("call %s: more than 3 arguments", n.Name)
+	}
+	builtin := n.Name == "printf" || n.Name == "exit"
+	anyDanger := false
+	for _, k := range n.Kids {
+		if dangerous(k) {
+			anyDanger = true
+		}
+	}
+	if anyDanger && len(n.Kids) > 1 {
+		// Stage every argument through the frame: a nested call would
+		// clobber already-loaded %o registers.
+		slots := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			r, err := g.evalReg(k)
+			if err != nil {
+				return err
+			}
+			sl, err := g.scratchPush()
+			if err != nil {
+				return err
+			}
+			g.ins("st %s, %s", r, sl)
+			g.release(r)
+			slots[i] = sl
+		}
+		for i, sl := range slots {
+			g.ins("ld %s, %%o%d", sl, i)
+		}
+		for range slots {
+			g.scratchPop()
+		}
+		g.ins("call %s", n.Name)
+		g.ins("nop")
+		return nil
+	}
+	loadArg := func(i int) error {
+		k := n.Kids[i]
+		dst := fmt.Sprintf("%%o%d", i)
+		if g.isLeaf(k) {
+			return g.loadLeaf(k, dst)
+		}
+		r, err := g.evalReg(k)
+		if err != nil {
+			return err
+		}
+		g.ins("or %s, %%g0, %s", r, dst)
+		g.release(r)
+		return nil
+	}
+	nargs := len(n.Kids)
+	for i := 0; i < nargs-1; i++ {
+		if err := loadArg(i); err != nil {
+			return err
+		}
+	}
+	if nargs > 0 && !builtin && g.delayable(n.Kids[nargs-1]) {
+		g.ins("call %s", n.Name)
+		return g.loadLeaf(n.Kids[nargs-1], fmt.Sprintf("%%o%d", nargs-1))
+	}
+	if nargs > 0 {
+		if err := loadArg(nargs - 1); err != nil {
+			return err
+		}
+	}
+	g.ins("call %s", n.Name)
+	g.ins("nop")
+	return nil
+}

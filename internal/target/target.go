@@ -1,0 +1,48 @@
+// Package target defines the toolchain abstraction the discovery unit
+// drives. A Toolchain bundles a native C compiler, assembler, linker, and
+// machine-level executor for one simulated architecture — the "existing
+// native compiler" of the paper (§2, Fig. 1), which the Lexer, Analyzer,
+// and Extractor treat as a black box: programs go in, output text comes
+// out, and nothing else about the machine may be consulted.
+package target
+
+import "srcg/internal/asm"
+
+// Toolchain is one simulated native toolchain. Implementations live in the
+// per-architecture subpackages (x86, sparc, mips, alpha, vax, tera).
+type Toolchain interface {
+	// Name returns the architecture name ("x86", "sparc", ...).
+	Name() string
+	// CompileC compiles mini-C source to assembly text.
+	CompileC(src string) (string, error)
+	// Assemble parses assembly text into an object unit, rejecting any
+	// opcode or operand the architecture's assembler would reject.
+	Assemble(text string) (*asm.Unit, error)
+	// Link combines assembled units into an executable image.
+	Link(units []*asm.Unit) (*asm.Image, error)
+	// Execute runs a linked image and returns its standard output.
+	Execute(img *asm.Image) (string, error)
+}
+
+// BuildAndRun compiles each C source, assembles the results, links them
+// into one image, and executes it — the cc/as/ld/run pipeline a discovery
+// probe exercises end to end.
+func BuildAndRun(tc Toolchain, sources []string) (string, error) {
+	units := make([]*asm.Unit, 0, len(sources))
+	for _, src := range sources {
+		text, err := tc.CompileC(src)
+		if err != nil {
+			return "", err
+		}
+		u, err := tc.Assemble(text)
+		if err != nil {
+			return "", err
+		}
+		units = append(units, u)
+	}
+	img, err := tc.Link(units)
+	if err != nil {
+		return "", err
+	}
+	return tc.Execute(img)
+}

@@ -1,0 +1,194 @@
+// Package tera simulates the Tera computer's toolchain, whose assembler
+// "uses a variant of Scheme" (the paper, §3.1). The compiler emits
+// S-expressions rather than line-oriented instructions, and the assembler
+// is a Scheme reader: it accepts any well-formed sequence of parenthesized
+// forms and rejects everything else. The Lexer's line-and-label
+// assumptions find nothing to grab onto, so syntax discovery fails
+// gracefully — which is exactly what this target exists to demonstrate.
+package tera
+
+import (
+	"fmt"
+	"strings"
+
+	"srcg/internal/asm"
+	"srcg/internal/cc"
+	"srcg/internal/ir"
+)
+
+// Toolchain is the simulated Tera compiler and Scheme-reader assembler.
+// Linking and execution are not modelled; discovery never gets that far.
+type Toolchain struct{}
+
+// New returns the simulated Tera toolchain.
+func New() *Toolchain { return &Toolchain{} }
+
+// Name implements target.Toolchain.
+func (t *Toolchain) Name() string { return "tera" }
+
+// CompileC implements target.Toolchain: mini-C lowered to S-expressions.
+func (t *Toolchain) CompileC(src string) (string, error) {
+	u, err := cc.CompileUnit(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, f := range u.Funcs {
+		params, locals := []string{}, []string{}
+		for _, l := range f.Locals {
+			if l.IsParam {
+				params = append(params, l.Name)
+			} else {
+				locals = append(locals, l.Name)
+			}
+		}
+		fmt.Fprintf(&b, "(define (%s%s)\n", f.Name, prefixSpace(params))
+		if len(locals) > 0 {
+			fmt.Fprintf(&b, "  (locals%s)\n", prefixSpace(locals))
+		}
+		for _, st := range f.Body {
+			fmt.Fprintf(&b, "  %s\n", stmt(st))
+		}
+		b.WriteString(")\n")
+	}
+	for _, gl := range u.Globals {
+		fmt.Fprintf(&b, "(global %s)\n", gl.Name)
+	}
+	for _, s := range u.Strings {
+		fmt.Fprintf(&b, "(string %s \"%s\")\n", s.Label, asm.EscapeString(s.Value))
+	}
+	return b.String(), nil
+}
+
+func prefixSpace(parts []string) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+var opAtoms = map[ir.Op]string{
+	ir.Add: "add", ir.Sub: "sub", ir.Mul: "mul", ir.Div: "div", ir.Mod: "mod",
+	ir.And: "and", ir.Or: "or", ir.Xor: "xor", ir.Shl: "shl", ir.Shr: "shr",
+	ir.Neg: "neg", ir.Not: "not",
+}
+
+var relAtoms = map[ir.Rel]string{
+	ir.EQ: "eq", ir.NE: "ne", ir.LT: "lt", ir.LE: "le", ir.GT: "gt", ir.GE: "ge",
+}
+
+func expr(n *ir.Node) string {
+	switch n.Op {
+	case ir.Const:
+		return fmt.Sprintf("(const %d)", n.Value)
+	case ir.Addr:
+		return "(addr " + n.Name + ")"
+	case ir.Load:
+		return "(load " + expr(n.Kids[0]) + ")"
+	case ir.Call:
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = expr(k)
+		}
+		return fmt.Sprintf("(call %s%s)", n.Name, prefixSpace(parts))
+	default:
+		atom, ok := opAtoms[n.Op]
+		if !ok {
+			atom = strings.ToLower(n.Op.String())
+		}
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = expr(k)
+		}
+		return fmt.Sprintf("(%s%s)", atom, prefixSpace(parts))
+	}
+}
+
+func stmt(st *ir.Stmt) string {
+	switch st.Kind {
+	case ir.SStore:
+		return fmt.Sprintf("(set! %s %s)", expr(st.Addr), expr(st.Val))
+	case ir.SBranch:
+		return fmt.Sprintf("(when (%s %s %s) (goto %s))",
+			relAtoms[st.Rel], expr(st.A), expr(st.B), st.Target)
+	case ir.SGoto:
+		return fmt.Sprintf("(goto %s)", st.Target)
+	case ir.SLabel:
+		return fmt.Sprintf("(label %s)", st.Target)
+	case ir.SExpr:
+		return expr(st.Val)
+	case ir.SRet:
+		if st.Val == nil {
+			return "(return)"
+		}
+		return fmt.Sprintf("(return %s)", expr(st.Val))
+	}
+	return "(unknown)"
+}
+
+// Assemble implements target.Toolchain as a Scheme reader: ";" comments,
+// double-quoted strings, and a sequence of balanced parenthesized forms.
+// Bare atoms at the top level and unbalanced parentheses are rejected —
+// nothing else is. The resulting unit is an opaque husk; the probing
+// discipline never inspects it and linking is unimplemented anyway.
+func (t *Toolchain) Assemble(text string) (*asm.Unit, error) {
+	depth := 0
+	line := 1
+	for i := 0; i < len(text); i++ {
+		ch := text[i]
+		switch {
+		case ch == '\n':
+			line++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+		case ch == ';':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+			line++
+		case ch == '(':
+			depth++
+		case ch == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("tera-as:%d: unbalanced )", line)
+			}
+		case ch == '"':
+			i++
+			for i < len(text) && text[i] != '"' {
+				if text[i] == '\\' {
+					i++
+				}
+				if i < len(text) && text[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i >= len(text) {
+				return nil, fmt.Errorf("tera-as:%d: unterminated string", line)
+			}
+		default:
+			// An atom. Atoms are only meaningful inside a form.
+			if depth == 0 {
+				j := i
+				for j < len(text) && !strings.ContainsRune(" \t\r\n();\"", rune(text[j])) {
+					j++
+				}
+				return nil, fmt.Errorf("tera-as:%d: datum %q outside a form", line, text[i:j])
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("tera-as:%d: unterminated form", line)
+	}
+	return &asm.Unit{Arch: "tera"}, nil
+}
+
+// Link implements target.Toolchain; the Tera linker is not modelled.
+func (t *Toolchain) Link(units []*asm.Unit) (*asm.Image, error) {
+	return nil, fmt.Errorf("tera-ld: linking is not modelled for the Tera")
+}
+
+// Execute implements target.Toolchain; the Tera machine is not modelled.
+func (t *Toolchain) Execute(img *asm.Image) (string, error) {
+	return "", fmt.Errorf("tera: execution is not modelled")
+}

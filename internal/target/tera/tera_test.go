@@ -1,0 +1,60 @@
+package tera_test
+
+import (
+	"strings"
+	"testing"
+
+	"srcg/internal/target/tera"
+)
+
+func TestCompileEmitsSExpressions(t *testing.T) {
+	tc := tera.New()
+	out, err := tc.CompileC(`main(){int a=1235; printf("%i\n", a); exit(0);}`)
+	if err != nil {
+		t.Fatalf("CompileC: %v", err)
+	}
+	if !strings.Contains(out, "(define (main)") {
+		t.Errorf("no define form in:\n%s", out)
+	}
+	if !strings.Contains(out, "(const 1235)") {
+		t.Errorf("literal 1235 not visible in:\n%s", out)
+	}
+	if _, err := tc.Assemble(out); err != nil {
+		t.Errorf("own compiler output rejected: %v", err)
+	}
+}
+
+func TestReaderAcceptsAndRejects(t *testing.T) {
+	tc := tera.New()
+	for _, good := range []string{
+		"",
+		"(define (main) (return))",
+		"(a (b c) \"str with ; and (\" )\n; a comment line\n(d)",
+	} {
+		if _, err := tc.Assemble(good); err != nil {
+			t.Errorf("Assemble(%q) rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{
+		"zzz!!! certainly not an instruction $$$",
+		"(define (main)",
+		"(a))",
+		"(unterminated \"string)",
+		"# zzz",
+		"! zzz",
+	} {
+		if _, err := tc.Assemble(bad); err == nil {
+			t.Errorf("Assemble(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLinkAndExecuteUnmodelled(t *testing.T) {
+	tc := tera.New()
+	if _, err := tc.Link(nil); err == nil {
+		t.Error("Link should be unmodelled")
+	}
+	if _, err := tc.Execute(nil); err == nil {
+		t.Error("Execute should be unmodelled")
+	}
+}

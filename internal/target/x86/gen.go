@@ -1,0 +1,553 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+
+	"srcg/internal/asm"
+	"srcg/internal/cc"
+	"srcg/internal/ir"
+)
+
+// compileC lowers mini-C to AT&T-style i386 assembly. Locals live at
+// -4(%ebp), -8(%ebp), ... below the frame pointer; parameters at 8(%ebp),
+// 12(%ebp), ... above it. Expressions are evaluated into a small register
+// pool, with %eax reserved for division, call staging, and return values.
+func compileC(src string) (string, error) {
+	u, err := cc.CompileUnit(src)
+	if err != nil {
+		return "", err
+	}
+	g := &gen{unit: u}
+	for _, f := range u.Funcs {
+		if err := g.genFunc(f); err != nil {
+			return "", err
+		}
+	}
+	for _, gl := range u.Globals {
+		g.raw("\t.comm " + gl.Name + ", 4")
+	}
+	for _, s := range u.Strings {
+		g.raw(s.Label + ":\t.asciz \"" + asm.EscapeString(s.Value) + "\"")
+	}
+	return g.buf.String(), nil
+}
+
+// pool is the expression-temporary allocation order. %eax stays out: it is
+// the implicit division/return register.
+var pool = []string{"%edx", "%ecx", "%ebx", "%esi", "%edi"}
+
+type gen struct {
+	buf  strings.Builder
+	unit *ir.Unit
+	fn   *ir.Func
+	busy map[string]bool
+}
+
+func (g *gen) raw(s string)                          { g.buf.WriteString(s + "\n") }
+func (g *gen) ins(f string, a ...interface{})        { g.raw("\t" + fmt.Sprintf(f, a...)) }
+func (g *gen) label(name string)                     { g.raw(name + ":") }
+func (g *gen) errf(f string, a ...interface{}) error { return fmt.Errorf("x86-cc: "+f, a...) }
+
+func (g *gen) alloc(avoid ...string) (string, bool) {
+	skip := map[string]bool{}
+	for _, r := range avoid {
+		skip[r] = true
+	}
+	for _, r := range pool {
+		if !g.busy[r] && !skip[r] {
+			g.busy[r] = true
+			return r, true
+		}
+	}
+	return "", false
+}
+
+func (g *gen) release(r string) { delete(g.busy, r) }
+
+func (g *gen) freeCount() int {
+	n := 0
+	for _, r := range pool {
+		if !g.busy[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// slot returns the memory operand for a named local or parameter.
+func (g *gen) slot(l ir.Local) string {
+	if l.IsParam {
+		return fmt.Sprintf("%d(%%ebp)", 8+4*l.Index)
+	}
+	return fmt.Sprintf("-%d(%%ebp)", 4*(l.Index+1))
+}
+
+// memOperand renders the operand for a named location: a frame slot for
+// locals, the bare symbol for globals.
+func (g *gen) memOperand(name string) string {
+	if l, ok := g.fn.LookupLocal(name); ok {
+		return g.slot(l)
+	}
+	return name
+}
+
+// leaf returns the direct operand for nodes that need no code: integer
+// constants, symbol addresses, and simple named loads.
+func (g *gen) leaf(n *ir.Node) (string, bool) {
+	switch n.Op {
+	case ir.Const:
+		return fmt.Sprintf("$%d", n.Value), true
+	case ir.Load:
+		if n.Kids[0].Op == ir.Addr {
+			if _, isLocal := g.fn.LookupLocal(n.Kids[0].Name); isLocal || g.isData(n.Kids[0].Name) {
+				return g.memOperand(n.Kids[0].Name), true
+			}
+		}
+	case ir.Addr:
+		if _, isLocal := g.fn.LookupLocal(n.Name); !isLocal {
+			return "$" + n.Name, true
+		}
+	}
+	return "", false
+}
+
+// isData reports whether name is a data symbol (global or extern variable)
+// rather than a function.
+func (g *gen) isData(name string) bool {
+	for _, f := range g.unit.Funcs {
+		if f.Name == name {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *gen) genFunc(f *ir.Func) error {
+	g.fn = f
+	g.busy = map[string]bool{}
+	frame := 0
+	for _, l := range f.Locals {
+		if !l.IsParam {
+			frame += 4
+		}
+	}
+	g.raw("\t.globl " + f.Name)
+	g.label(f.Name)
+	g.ins("pushl %%ebp")
+	g.ins("movl %%esp, %%ebp")
+	g.ins("subl $%d, %%esp", frame)
+	for _, st := range f.Body {
+		if err := g.genStmt(st); err != nil {
+			return err
+		}
+	}
+	if !endsFlow(f.Body) {
+		g.epilogue()
+	}
+	return nil
+}
+
+// endsFlow reports whether the function body already ends in a return or a
+// call to exit, making a trailing epilogue dead code.
+func endsFlow(body []*ir.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	last := body[len(body)-1]
+	if last.Kind == ir.SRet {
+		return true
+	}
+	return last.Kind == ir.SExpr && last.Val != nil && last.Val.Op == ir.Call && last.Val.Name == "exit"
+}
+
+func (g *gen) epilogue() {
+	g.ins("movl %%ebp, %%esp")
+	g.ins("popl %%ebp")
+	g.ins("ret")
+}
+
+func (g *gen) genStmt(st *ir.Stmt) error {
+	switch st.Kind {
+	case ir.SLabel:
+		g.label(st.Target)
+	case ir.SGoto:
+		g.ins("jmp %s", st.Target)
+	case ir.SBranch:
+		return g.genBranch(st)
+	case ir.SStore:
+		return g.genStore(st.Addr, st.Val)
+	case ir.SExpr:
+		if st.Val != nil && st.Val.Op == ir.Call {
+			return g.genCall(st.Val)
+		}
+	case ir.SRet:
+		if st.Val != nil {
+			if op, ok := g.leaf(st.Val); ok {
+				g.ins("movl %s, %%eax", op)
+			} else {
+				r, err := g.evalReg(st.Val)
+				if err != nil {
+					return err
+				}
+				g.ins("movl %s, %%eax", r)
+				g.release(r)
+			}
+		}
+		g.epilogue()
+	}
+	return nil
+}
+
+var branchOps = map[ir.Rel]string{
+	ir.EQ: "je", ir.NE: "jne", ir.LT: "jl", ir.LE: "jle", ir.GT: "jg", ir.GE: "jge",
+}
+
+func (g *gen) genBranch(st *ir.Stmt) error {
+	rA, err := g.evalReg(st.A)
+	if err != nil {
+		return err
+	}
+	if op, ok := g.leaf(st.B); ok {
+		g.ins("cmpl %s, %s", op, rA)
+	} else {
+		rB, err := g.evalReg(st.B)
+		if err != nil {
+			return err
+		}
+		g.ins("cmpl %s, %s", rB, rA)
+		g.release(rB)
+	}
+	g.release(rA)
+	g.ins("%s %s", branchOps[st.Rel], st.Target)
+	return nil
+}
+
+func (g *gen) genStore(addr, val *ir.Node) error {
+	// Destination: a named slot/global, or a computed address (*p = ...).
+	dst := ""
+	dstReg := ""
+	if addr.Op == ir.Addr {
+		dst = g.memOperand(addr.Name)
+	} else {
+		r, err := g.evalReg(addr)
+		if err != nil {
+			return err
+		}
+		dstReg = r
+		dst = "(" + r + ")"
+	}
+	defer func() {
+		if dstReg != "" {
+			g.release(dstReg)
+		}
+	}()
+	switch {
+	case val.Op == ir.Const:
+		g.ins("movl $%d, %s", val.Value, dst)
+	case (val.Op == ir.Div || val.Op == ir.Mod) && dstReg == "":
+		return g.genDiv(val, dst)
+	case val.Op == ir.Call:
+		if err := g.genCall(val); err != nil {
+			return err
+		}
+		g.ins("movl %%eax, %s", dst)
+	default:
+		if op, ok := g.leaf(val); ok {
+			r, okr := g.alloc()
+			if !okr {
+				return g.errf("register pool exhausted")
+			}
+			g.ins("movl %s, %s", op, r)
+			g.ins("movl %s, %s", r, dst)
+			g.release(r)
+			return nil
+		}
+		r, err := g.evalReg(val)
+		if err != nil {
+			return err
+		}
+		g.ins("movl %s, %s", r, dst)
+		g.release(r)
+	}
+	return nil
+}
+
+// genDiv emits the cltd/idivl sequence for a statement-level quotient or
+// remainder, storing %eax (Div) or %edx (Mod) to dst.
+func (g *gen) genDiv(n *ir.Node, dst string) error {
+	res, err := g.divide(n)
+	if err != nil {
+		return err
+	}
+	// The quotient leaves the accumulator through a pool register (the
+	// remainder is already in one); %eax stays free for the next
+	// statement's division protocol.
+	if n.Op == ir.Div {
+		r, ok := g.alloc()
+		if !ok {
+			return g.errf("register pool exhausted")
+		}
+		g.ins("movl %s, %s", res, r)
+		res = r
+		defer g.release(r)
+	}
+	g.ins("movl %s, %s", res, dst)
+	return nil
+}
+
+// divide runs the division protocol and returns "%eax" (Div) or "%edx"
+// (Mod) holding the result; the caller must consume it immediately.
+func (g *gen) divide(n *ir.Node) (string, error) {
+	spill := g.busy["%edx"]
+	if spill {
+		g.ins("pushl %%edx")
+	}
+	divisor := ""
+	divReg := ""
+	if op, ok := g.leaf(n.Kids[1]); ok && !strings.HasPrefix(op, "$") {
+		divisor = op
+	} else {
+		r, err := g.evalRegAvoid(n.Kids[1], "%edx")
+		if err != nil {
+			return "", err
+		}
+		divReg = r
+		divisor = r
+	}
+	if op, ok := g.leaf(n.Kids[0]); ok {
+		g.ins("movl %s, %%eax", op)
+	} else {
+		r, err := g.evalRegAvoid(n.Kids[0], "%edx")
+		if err != nil {
+			return "", err
+		}
+		g.ins("movl %s, %%eax", r)
+		g.release(r)
+	}
+	g.ins("cltd")
+	g.ins("idivl %s", divisor)
+	if divReg != "" {
+		g.release(divReg)
+	}
+	res := "%eax"
+	if n.Op == ir.Mod {
+		res = "%edx"
+	}
+	if spill {
+		// Park the result out of %edx before restoring it.
+		return res, g.errf("internal: division with live %%edx must go through evalReg")
+	}
+	return res, nil
+}
+
+var binOps = map[ir.Op]string{
+	ir.Add: "addl", ir.Sub: "subl", ir.Mul: "imull",
+	ir.And: "andl", ir.Or: "orl", ir.Xor: "xorl",
+}
+
+// evalReg evaluates n into a freshly allocated pool register.
+func (g *gen) evalReg(n *ir.Node) (string, error) { return g.evalRegAvoid(n) }
+
+func (g *gen) evalRegAvoid(n *ir.Node, avoid ...string) (string, error) {
+	switch {
+	case n.Op == ir.Const, n.Op == ir.Load && n.Kids[0].Op == ir.Addr, n.Op == ir.Addr:
+		if op, ok := g.leaf(n); ok {
+			r, okr := g.alloc(avoid...)
+			if !okr {
+				return "", g.errf("register pool exhausted")
+			}
+			g.ins("movl %s, %s", op, r)
+			return r, nil
+		}
+		if n.Op == ir.Addr { // address of a local
+			l, _ := g.fn.LookupLocal(n.Name)
+			r, okr := g.alloc(avoid...)
+			if !okr {
+				return "", g.errf("register pool exhausted")
+			}
+			g.ins("leal %s, %s", g.slot(l), r)
+			return r, nil
+		}
+		return "", g.errf("unsupported leaf %s", n)
+	case n.Op == ir.Load: // *p as an rvalue
+		r, err := g.evalRegAvoid(n.Kids[0], avoid...)
+		if err != nil {
+			return "", err
+		}
+		g.ins("movl (%s), %s", r, r)
+		return r, nil
+	case n.Op == ir.Neg || n.Op == ir.Not:
+		r, err := g.evalRegAvoid(n.Kids[0], avoid...)
+		if err != nil {
+			return "", err
+		}
+		if n.Op == ir.Neg {
+			g.ins("negl %s", r)
+		} else {
+			g.ins("notl %s", r)
+		}
+		return r, nil
+	case n.Op == ir.Div || n.Op == ir.Mod:
+		return g.divToReg(n, avoid...)
+	case n.Op == ir.Shl || n.Op == ir.Shr:
+		return g.shift(n, avoid...)
+	case n.Op == ir.Call:
+		if err := g.genCall(n); err != nil {
+			return "", err
+		}
+		r, okr := g.alloc(avoid...)
+		if !okr {
+			return "", g.errf("register pool exhausted")
+		}
+		g.ins("movl %%eax, %s", r)
+		return r, nil
+	case n.Op.IsBinary():
+		return g.binary(n, avoid...)
+	}
+	return "", g.errf("cannot evaluate %s", n)
+}
+
+func (g *gen) binary(n *ir.Node, avoid ...string) (string, error) {
+	op := binOps[n.Op]
+	l, err := g.evalRegAvoid(n.Kids[0], avoid...)
+	if err != nil {
+		return "", err
+	}
+	if rop, ok := g.leaf(n.Kids[1]); ok {
+		g.ins("%s %s, %s", op, rop, l)
+		return l, nil
+	}
+	if n.Kids[1].ContainsCall() || g.freeCount() == 0 {
+		// Spill the left value across the right-hand evaluation: a call
+		// (or an exhausted pool) would clobber it.
+		g.ins("pushl %s", l)
+		g.release(l)
+		r, err := g.evalRegAvoid(n.Kids[1], avoid...)
+		if err != nil {
+			return "", err
+		}
+		l2, okr := g.alloc(avoid...)
+		if !okr {
+			return "", g.errf("register pool exhausted")
+		}
+		g.ins("popl %s", l2)
+		g.ins("%s %s, %s", op, r, l2)
+		g.release(r)
+		return l2, nil
+	}
+	r, err := g.evalRegAvoid(n.Kids[1], avoid...)
+	if err != nil {
+		return "", err
+	}
+	g.ins("%s %s, %s", op, r, l)
+	g.release(r)
+	return l, nil
+}
+
+// divToReg wraps the division protocol for expression contexts, moving the
+// result into a pool register and restoring any spilled %edx.
+func (g *gen) divToReg(n *ir.Node, avoid ...string) (string, error) {
+	spill := g.busy["%edx"]
+	if spill {
+		g.ins("pushl %%edx")
+		g.release("%edx")
+	}
+	res, err := g.divide(n)
+	if err != nil {
+		return "", err
+	}
+	av := append([]string{"%edx"}, avoid...)
+	r, okr := g.alloc(av...)
+	if !okr {
+		return "", g.errf("register pool exhausted")
+	}
+	g.ins("movl %s, %s", res, r)
+	if spill {
+		g.ins("popl %%edx")
+		g.busy["%edx"] = true
+	}
+	return r, nil
+}
+
+// shift emits sall/sarl with the count in %ecx (or as an immediate).
+func (g *gen) shift(n *ir.Node, avoid ...string) (string, error) {
+	op := "sall"
+	if n.Op == ir.Shr {
+		op = "sarl"
+	}
+	if n.Kids[1].Op == ir.Const {
+		r, err := g.evalRegAvoid(n.Kids[0], avoid...)
+		if err != nil {
+			return "", err
+		}
+		g.ins("%s $%d, %s", op, n.Kids[1].Value, r)
+		return r, nil
+	}
+	av := append([]string{"%ecx"}, avoid...)
+	l, err := g.evalRegAvoid(n.Kids[0], av...)
+	if err != nil {
+		return "", err
+	}
+	spill := g.busy["%ecx"]
+	if spill {
+		g.ins("pushl %%ecx")
+		g.release("%ecx")
+	}
+	g.busy["%ecx"] = true
+	if cop, ok := g.leaf(n.Kids[1]); ok {
+		g.ins("movl %s, %%ecx", cop)
+	} else {
+		r, err := g.evalRegAvoid(n.Kids[1], av...)
+		if err != nil {
+			return "", err
+		}
+		g.ins("movl %s, %%ecx", r)
+		g.release(r)
+	}
+	g.ins("%s %%ecx, %s", op, l)
+	g.release("%ecx")
+	if spill {
+		g.ins("popl %%ecx")
+		g.busy["%ecx"] = true
+	}
+	return l, nil
+}
+
+// genCall pushes arguments right to left (memory leaves staged through
+// %eax), calls, and pops the arguments — except for the no-return exit.
+func (g *gen) genCall(n *ir.Node) error {
+	for i := len(n.Kids) - 1; i >= 0; i-- {
+		arg := n.Kids[i]
+		switch {
+		case arg.Op == ir.Const:
+			g.ins("pushl $%d", arg.Value)
+		case arg.Op == ir.Addr:
+			if l, isLocal := g.fn.LookupLocal(arg.Name); isLocal {
+				g.ins("leal %s, %%eax", g.slot(l))
+				g.ins("pushl %%eax")
+			} else {
+				g.ins("pushl $%s", arg.Name)
+			}
+		case arg.Op == ir.Load && arg.Kids[0].Op == ir.Addr:
+			op, ok := g.leaf(arg)
+			if !ok {
+				return g.errf("bad argument %s", arg)
+			}
+			g.ins("movl %s, %%eax", op)
+			g.ins("pushl %%eax")
+		default:
+			r, err := g.evalReg(arg)
+			if err != nil {
+				return err
+			}
+			g.ins("pushl %s", r)
+			g.release(r)
+		}
+	}
+	g.ins("call %s", n.Name)
+	if n.Name != "exit" && len(n.Kids) > 0 {
+		g.ins("addl $%d, %%esp", 4*len(n.Kids))
+	}
+	return nil
+}

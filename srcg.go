@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"srcg/internal/check"
 	"srcg/internal/core"
 	"srcg/internal/target"
 	"srcg/internal/target/alpha"
@@ -49,6 +50,10 @@ type Discovery = core.Discovery
 
 // Program is a mini-C validation program.
 type Program = core.Program
+
+// CheckReport is the static verification layer's findings for a discovery
+// run with Options.Check set (see internal/check and cmd/srcgvet).
+type CheckReport = check.Report
 
 // ValidationSuite is the standard end-to-end program suite.
 var ValidationSuite = core.ValidationSuite
