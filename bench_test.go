@@ -10,6 +10,7 @@ import (
 
 	"srcg"
 	"srcg/internal/experiments"
+	"srcg/internal/faulty"
 )
 
 // benchExperiment reruns one experiment per iteration. The first run per
@@ -114,11 +115,15 @@ func BenchmarkE20_VariantsAblation(b *testing.B) {
 
 // BenchmarkDiscoverEndToEnd measures a complete, uncached discovery run
 // per architecture — the headline §7.2 cost ("a complete analysis ...
-// several hours" on 1997 hardware, seconds here).
+// several hours" on 1997 hardware, seconds here). The clean variant is
+// the baseline; the faulty variant runs the same discovery through the
+// fault-injecting gauntlet (10% transient errors + 10% output noise,
+// DESIGN.md §7), so clean-vs-faulty is the probe layer's resilience
+// overhead. Results are tracked over time in BENCH_discover.json.
 func BenchmarkDiscoverEndToEnd(b *testing.B) {
 	for _, arch := range []string{"x86", "sparc", "mips", "alpha", "vax"} {
 		arch := arch
-		b.Run(arch, func(b *testing.B) {
+		b.Run(arch+"/clean", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				t := srcg.NewTarget(arch)
 				d, err := srcg.Discover(t, srcg.Options{Seed: int64(i) + 1})
@@ -127,6 +132,23 @@ func BenchmarkDiscoverEndToEnd(b *testing.B) {
 				}
 				if i == b.N-1 {
 					b.ReportMetric(float64(d.Rig.Stats.Executions), "executions")
+					b.ReportMetric(float64(d.ProbeStats.Attempts), "attempts")
+					b.ReportMetric(float64(len(d.Outcome.Solved)), "solved")
+				}
+			}
+		})
+		b.Run(arch+"/faulty", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := faulty.New(srcg.NewTarget(arch),
+					faulty.Config{Seed: int64(i) + 7, Rate: 0.10, Noise: 0.10})
+				d, err := srcg.Discover(t, srcg.Options{Seed: int64(i) + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(d.Rig.Stats.Executions), "executions")
+					b.ReportMetric(float64(d.ProbeStats.Attempts), "attempts")
+					b.ReportMetric(float64(d.ProbeStats.Retries), "retries")
 					b.ReportMetric(float64(len(d.Outcome.Solved)), "solved")
 				}
 			}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	discover -arch sparc [-seed 1] [-full] [-beg] [-validate]
+//	discover -arch sparc [-seed 1] [-full] [-beg] [-validate] [-faults 7:0.1]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"srcg"
+	"srcg/internal/faulty"
 )
 
 func main() {
@@ -24,12 +25,21 @@ func main() {
 	beg := flag.Bool("beg", false, "print the synthesized BEG machine description")
 	validate := flag.Bool("validate", false, "compile and run the validation suite through the generated back end")
 	dot := flag.String("dot", "", "print the data-flow graph of the named sample (e.g. int.div.b_c) in Graphviz format")
+	faults := flag.String("faults", "", "inject transient toolchain faults and output noise: <seed>:<rate> (e.g. 7:0.1)")
 	flag.Parse()
 
 	t, err := srcg.LookupTarget(*arch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *faults != "" {
+		cfg, err := faulty.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		t = faulty.New(t, cfg)
 	}
 	d, err := srcg.Discover(t, srcg.Options{Seed: *seed, Full: *full, SignedShifts: *ash})
 	if err != nil {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	srcgvet -target sparc [-seed 1] [-full] [-signedshifts]
+//	srcgvet -target sparc [-seed 1] [-full] [-signedshifts] [-faults 7:0.1]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"srcg"
+	"srcg/internal/faulty"
 )
 
 func main() {
@@ -22,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for sample generation and mutations")
 	full := flag.Bool("full", false, "verify the complete operand-shape sample set")
 	ash := flag.Bool("signedshifts", false, "enable the signed-count shift primitive")
+	faults := flag.String("faults", "", "inject transient toolchain faults and output noise: <seed>:<rate> (e.g. 7:0.1)")
 	flag.Parse()
 
 	t, err := srcg.LookupTarget(*targetName)
@@ -29,12 +31,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *faults != "" {
+		cfg, err := faulty.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		t = faulty.New(t, cfg)
+	}
 	d, err := srcg.Discover(t, srcg.Options{
 		Seed: *seed, Full: *full, SignedShifts: *ash, Check: true,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "srcgvet: discovery failed: %v\n", err)
 		os.Exit(1)
+	}
+	if *faults != "" {
+		fmt.Printf("srcgvet: probe: %s\n", d.ProbeStats)
 	}
 	rep := d.CheckReport
 	if len(rep.Diags) == 0 {

@@ -39,7 +39,7 @@ func (f Finding) String() string {
 // reach into a concrete machine model or target implementation.
 var DiscoverySide = []string{
 	"gen", "lexer", "mutate", "dfg", "extract", "synth", "core",
-	"discovery", "sem", "enquire", "beg", "check",
+	"discovery", "sem", "enquire", "beg", "check", "probe", "faulty",
 }
 
 // forbidden import paths for discovery-side code: the instruction-level

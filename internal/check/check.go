@@ -75,6 +75,15 @@ const (
 	// CodeUnwitnessedMode: a template operand uses an addressing-mode
 	// shape never observed in any sample.
 	CodeUnwitnessedMode = "SA013"
+	// CodeUnpairedHiddenConsumer: a Branches/Calls template emits an
+	// instruction the samples observed consuming a hidden value (§7.1)
+	// without a preceding line emitting one of its observed producers —
+	// the generated code would branch or call on garbage.
+	CodeUnpairedHiddenConsumer = "SA014"
+	// CodeSampleDropped: graceful degradation — a sample whose data-flow
+	// graph stayed faulty through its checker-gated retry budget was
+	// dropped from the run instead of aborting it.
+	CodeSampleDropped = "SA015"
 )
 
 // Diagnostic is one finding with a stable code and a location.

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"sort"
+	"strings"
+
+	"srcg/internal/lexer"
+	"srcg/internal/mutate"
+	"srcg/internal/synth"
+)
+
+// LintHiddenPairs cross-checks the synthesized Branches/Calls templates
+// against the hidden-channel pairs mutation analysis observed (§7.1): if
+// the samples showed that an opcode consumes a hidden value (condition
+// codes, hi/lo) written by some producer opcode, then any template that
+// emits the consumer must emit one of its observed producers on an earlier
+// line — otherwise the generated code branches (or calls) on garbage the
+// template never set up.
+func LintHiddenPairs(analyses map[string]*mutate.Analysis, s *synth.Spec) []Diagnostic {
+	ledger := hiddenPairLedger(analyses)
+	if len(ledger) == 0 || s == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, nt := range namedTemplates(s) {
+		if !strings.HasPrefix(nt.name, "Branch") && !strings.HasPrefix(nt.name, "Call") {
+			continue
+		}
+		ops := templateOps(nt.t.Lines)
+		for i, op := range ops {
+			producers, consuming := ledger[op]
+			if !consuming {
+				continue
+			}
+			ok := false
+			for j := 0; j < i; j++ {
+				if producers[ops[j]] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				diags = append(diags, errf(CodeUnpairedHiddenConsumer, "spec", -1,
+					"template %s emits %q, which samples observed reading a hidden value "+
+						"written by %s, but no producing instruction precedes it",
+					nt.name, op, orList(producers)))
+			}
+		}
+	}
+	return diags
+}
+
+// hiddenPairLedger collects, over every analyzed sample, the opcodes seen
+// consuming a hidden channel, mapped to the opcodes seen producing the
+// value they read. Filler instructions the Preprocessor inserted carry no
+// sample semantics and do not witness either side.
+//
+// An opcode some sample observed running standalone — in a group with no
+// incoming hidden edge — is exempt: the samples themselves witness that it
+// does not require a producer. This is what separates a conditional branch
+// (every observation reads condition codes) from x86's call (which reads a
+// pushed stack argument when there is one, and nothing when there isn't:
+// a zero-argument Call template must not be forced to push).
+func hiddenPairLedger(analyses map[string]*mutate.Analysis) map[string]map[string]bool {
+	ledger := map[string]map[string]bool{}
+	standalone := map[string]bool{}
+	for _, a := range analyses {
+		if a == nil {
+			continue
+		}
+		consuming := map[int]bool{}
+		for _, h := range a.Hidden {
+			if h.From < 0 || h.To < 0 || h.From >= len(a.Groups) || h.To >= len(a.Groups) {
+				continue
+			}
+			consuming[h.To] = true
+			producers := groupOps(a, h.From)
+			for _, consumer := range groupOps(a, h.To) {
+				set := ledger[consumer]
+				if set == nil {
+					set = map[string]bool{}
+					ledger[consumer] = set
+				}
+				for _, p := range producers {
+					set[p] = true
+				}
+			}
+		}
+		for g := range a.Groups {
+			if consuming[g] {
+				continue
+			}
+			for _, op := range groupOps(a, g) {
+				standalone[op] = true
+			}
+		}
+	}
+	// An opcode observed on both sides of hidden pairs (e.g. a
+	// compare-and-branch hybrid) would demand itself as its own producer;
+	// drop self-pairs. Standalone witnesses exempt the opcode entirely.
+	for consumer, producers := range ledger {
+		delete(producers, consumer)
+		if len(producers) == 0 || standalone[consumer] {
+			delete(ledger, consumer)
+		}
+	}
+	return ledger
+}
+
+// groupOps lists the non-filler opcodes of one analysis group.
+func groupOps(a *mutate.Analysis, group int) []string {
+	var out []string
+	for i := a.Groups[group][0]; i < a.Groups[group][1] && i < len(a.Region); i++ {
+		if a.Filler[i] {
+			continue
+		}
+		out = append(out, a.Region[i].Op)
+	}
+	return out
+}
+
+// templateOps extracts the opcode of every instruction line of a template
+// (directives and label definitions carry no opcode).
+func templateOps(lines []string) []string {
+	out := make([]string, 0, len(lines))
+	for _, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasSuffix(line, ":") {
+			continue
+		}
+		op, _ := lexer.SplitLine(line)
+		if op == "" || strings.HasPrefix(op, ".") {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+func orList(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " or ")
+}

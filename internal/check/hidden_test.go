@@ -1,0 +1,138 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"srcg/internal/discovery"
+	"srcg/internal/ir"
+	"srcg/internal/mutate"
+	"srcg/internal/synth"
+)
+
+// hiddenAnalysis builds a minimal analysis whose samples observed `cmp`
+// writing a hidden value that `beq` reads, with `beq` never seen standalone.
+func hiddenAnalysis() map[string]*mutate.Analysis {
+	return map[string]*mutate.Analysis{
+		"if.eq": {
+			Region: []discovery.Instr{
+				{Op: "cmp"},
+				{Op: "beq"},
+				{Op: "mov"},
+			},
+			Groups: [][2]int{{0, 1}, {1, 2}, {2, 3}},
+			Filler: map[int]bool{},
+			Hidden: []discovery.HiddenChannel{{From: 0, To: 1, Tag: "hidden1"}},
+		},
+	}
+}
+
+// TestLintHiddenPairsFires: a branch template emitting the consumer with
+// no producer on an earlier line is exactly the miscompilation SA014
+// exists to catch — the generated code would branch on garbage flags.
+func TestLintHiddenPairsFires(t *testing.T) {
+	spec := &synth.Spec{
+		Branches: map[ir.Rel]*synth.Template{
+			ir.EQ: {Lines: []string{"beq {label}"}}, // no cmp before it
+		},
+	}
+	diags := LintHiddenPairs(hiddenAnalysis(), spec)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Code != CodeUnpairedHiddenConsumer || d.Severity != Error {
+		t.Errorf("diagnostic = %+v; want SA014 error", d)
+	}
+	if !strings.Contains(d.Message, "beq") || !strings.Contains(d.Message, "cmp") {
+		t.Errorf("message %q must name consumer and producer", d.Message)
+	}
+}
+
+// TestLintHiddenPairsAcceptsPairedTemplate: the producer on an earlier
+// line satisfies the pair, wherever directives and labels sit in between.
+func TestLintHiddenPairsAcceptsPairedTemplate(t *testing.T) {
+	spec := &synth.Spec{
+		Branches: map[ir.Rel]*synth.Template{
+			ir.EQ: {Lines: []string{
+				"\tcmp {src1}, {src2}",
+				".align 4",
+				"skip:",
+				"\tbeq {label}",
+			}},
+		},
+	}
+	if diags := LintHiddenPairs(hiddenAnalysis(), spec); len(diags) != 0 {
+		t.Errorf("paired template flagged: %v", diags)
+	}
+}
+
+// TestLintHiddenPairsExemptsStandaloneWitnesses: an opcode some sample
+// observed running without a hidden input needs no producer — the
+// zero-argument-call case.
+func TestLintHiddenPairsExemptsStandaloneWitnesses(t *testing.T) {
+	analyses := hiddenAnalysis()
+	analyses["call.0"] = &mutate.Analysis{
+		Region: []discovery.Instr{{Op: "call"}},
+		Groups: [][2]int{{0, 1}},
+		Filler: map[int]bool{},
+	}
+	analyses["call.1"] = &mutate.Analysis{
+		Region: []discovery.Instr{{Op: "pushl"}, {Op: "call"}},
+		Groups: [][2]int{{0, 1}, {1, 2}},
+		Filler: map[int]bool{},
+		Hidden: []discovery.HiddenChannel{{From: 0, To: 1, Tag: "hidden1"}},
+	}
+	spec := &synth.Spec{
+		Calls: map[int]*synth.Template{
+			0: {Lines: []string{"call {fn}"}}, // fine: call.0 witnessed this
+		},
+		Branches: map[ir.Rel]*synth.Template{
+			ir.EQ: {Lines: []string{"beq {label}"}}, // still broken
+		},
+	}
+	diags := LintHiddenPairs(analyses, spec)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "beq") {
+		t.Errorf("want exactly the beq finding, got: %v", diags)
+	}
+}
+
+// TestLintHiddenPairsIgnoresNonTransferTemplates: the pairing obligation
+// is scoped to Branches/Calls — an Op template reusing a flag-setting
+// opcode for arithmetic is not a consumer.
+func TestLintHiddenPairsIgnoresNonTransferTemplates(t *testing.T) {
+	spec := &synth.Spec{
+		Ops: map[ir.Op]*synth.Template{
+			ir.Op(0): {Lines: []string{"beq {label}"}},
+		},
+	}
+	if diags := LintHiddenPairs(hiddenAnalysis(), spec); len(diags) != 0 {
+		t.Errorf("non-transfer template flagged: %v", diags)
+	}
+}
+
+// TestLintHiddenPairsSkipsFiller: preprocessor filler witnesses nothing —
+// neither producers nor standalone exemptions.
+func TestLintHiddenPairsSkipsFiller(t *testing.T) {
+	analyses := map[string]*mutate.Analysis{
+		"if.eq": {
+			Region: []discovery.Instr{
+				{Op: "cmp"},
+				{Op: "nop"}, // filler in the producing group
+				{Op: "beq"},
+			},
+			Groups: [][2]int{{0, 2}, {2, 3}},
+			Filler: map[int]bool{1: true},
+			Hidden: []discovery.HiddenChannel{{From: 0, To: 1, Tag: "hidden1"}},
+		},
+	}
+	spec := &synth.Spec{
+		Branches: map[ir.Rel]*synth.Template{
+			ir.EQ: {Lines: []string{"nop", "beq {label}"}}, // nop is not a producer
+		},
+	}
+	diags := LintHiddenPairs(analyses, spec)
+	if len(diags) != 1 {
+		t.Errorf("filler must not count as a producer: %v", diags)
+	}
+}

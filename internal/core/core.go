@@ -5,6 +5,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"srcg/internal/gen"
 	"srcg/internal/lexer"
 	"srcg/internal/mutate"
+	"srcg/internal/probe"
 	"srcg/internal/synth"
 	"srcg/internal/target"
 )
@@ -40,7 +42,22 @@ type Options struct {
 	// every data-flow graph and the synthesized spec, attaching a
 	// CheckReport to the Discovery.
 	Check bool
+	// ProbeRetries caps the transient-fault retries the probe layer spends
+	// per toolchain interaction (0 = probe.DefaultRetries).
+	ProbeRetries int
+	// QuorumN caps the executions spent seeking an output quorum per run
+	// (0 = probe.DefaultQuorumN; 1 trusts single runs — no re-probing).
+	QuorumN int
+	// CheckRetries is the checker-gated retry budget: how many times a
+	// sample whose data-flow graph draws an Error-severity diagnostic has
+	// its mutation analysis re-run with a fresh seed before the sample is
+	// dropped. Effective only with Check; 0 means DefaultCheckRetries.
+	CheckRetries int
 }
+
+// DefaultCheckRetries is the checker-gated retry budget when the caller
+// does not set one.
+const DefaultCheckRetries = 2
 
 // constantExpect reports whether every valuation of s expects the same
 // output — a degenerate sample that cannot pin value-dependent semantics.
@@ -75,6 +92,16 @@ type Discovery struct {
 	Skipped map[string]string
 	// CheckReport holds the static verifier's findings (Options.Check).
 	CheckReport *check.Report
+	// ProbeStats snapshots the probe layer's resilience counters: probes
+	// issued, transient faults retried, quorum re-executions, conflicts
+	// outvoted (see internal/probe).
+	ProbeStats probe.Stats
+	// CheckRetried counts mutation analyses re-run under the checker gate.
+	CheckRetried int
+	// Dropped lists samples abandoned after exhausting their checker-gated
+	// retry budget, with the diagnostic that condemned them. Dropped
+	// samples also appear in Skipped: discovery degrades, never aborts.
+	Dropped map[string]string
 }
 
 // Discover runs the full pipeline up to semantic extraction.
@@ -82,7 +109,10 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 	if opts.Weights == (extract.Weights{}) {
 		opts.Weights = extract.DefaultWeights
 	}
-	rig := discovery.NewRig(tc)
+	probeCfg := probe.DefaultConfig()
+	probeCfg.Retries = opts.ProbeRetries
+	probeCfg.QuorumN = opts.QuorumN
+	rig := discovery.NewRigConfig(tc, probeCfg)
 	rnd := rand.New(rand.NewSource(opts.Seed))
 	samples, err := gen.Samples(gen.Config{Rand: rnd, Full: opts.Full})
 	if err != nil {
@@ -104,6 +134,7 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 		Analyses: map[string]*mutate.Analysis{},
 		Graphs:   map[string]*dfg.Graph{},
 		Skipped:  map[string]string{},
+		Dropped:  map[string]string{},
 	}
 
 	engine := mutate.New(rig, model, rand.New(rand.NewSource(opts.Seed+1)))
@@ -151,6 +182,10 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 		model.Hardwired = engine.DetectHardwired(a)
 	}
 
+	checkRetries := opts.CheckRetries
+	if checkRetries <= 0 {
+		checkRetries = DefaultCheckRetries
+	}
 	for _, s := range samples {
 		a, ok := d.Analyses[s.Name]
 		if !ok {
@@ -168,6 +203,45 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 		if err != nil {
 			d.Skipped[s.Name] = err.Error()
 			continue
+		}
+		// Checker-gated retries: a graph the static verifier condemns is
+		// evidence the machine lied to mutation analysis (noise that
+		// slipped past the quorum, a flaked probe). Rather than shipping a
+		// suspect graph — or aborting the run — the sample's analysis is
+		// re-run with a fresh seed; a sample still faulty after its budget
+		// is dropped with a diagnostic.
+		if opts.Check {
+			diags := check.VerifyGraph(model, a, g)
+			for retry := 1; countErrors(diags) > 0 && retry <= checkRetries; retry++ {
+				d.CheckRetried++
+				retryEngine := mutate.New(rig, model, rand.New(rand.NewSource(retrySeed(opts.Seed, s.Name, retry))))
+				a2, err := retryEngine.Analyze(s)
+				if err != nil {
+					continue
+				}
+				if constA, ok := d.Analyses["int.const.34117"]; ok {
+					retryEngine.FindMemWriter(a2, constA.Region, 34117)
+				}
+				if a2.AWriter < 0 {
+					continue
+				}
+				g2, err := dfg.Build(model, a2, slots)
+				if err != nil {
+					continue
+				}
+				if d2 := check.VerifyGraph(model, a2, g2); countErrors(d2) < countErrors(diags) {
+					a, g, diags = a2, g2, d2
+					d.Analyses[s.Name] = a2
+				}
+			}
+			if countErrors(diags) > 0 {
+				reason := fmt.Sprintf("dropped by checker gate after %d retries: %s",
+					checkRetries, diags[0].String())
+				d.Dropped[s.Name] = reason
+				d.Skipped[s.Name] = reason
+				delete(d.Analyses, s.Name)
+				continue
+			}
 		}
 		d.Graphs[s.Name] = g
 	}
@@ -222,10 +296,45 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 		}
 		if spec != nil {
 			rep.Add(check.LintSpec(model, spec)...)
+			rep.Add(check.LintHiddenPairs(d.Analyses, spec)...)
+		}
+		for _, name := range sortedKeys(d.Dropped) {
+			rep.Add(check.Diagnostic{Code: check.CodeSampleDropped, Severity: check.Warning,
+				Sample: name, Step: -1, Message: d.Dropped[name]})
 		}
 		d.CheckReport = rep
 	}
+	d.ProbeStats = rig.ProbeStats()
 	return d, nil
+}
+
+// countErrors counts Error-severity diagnostics.
+func countErrors(diags []check.Diagnostic) int {
+	n := 0
+	for _, dg := range diags {
+		if dg.Severity == check.Error {
+			n++
+		}
+	}
+	return n
+}
+
+// retrySeed derives the fresh, deterministic seed for a checker-gated
+// re-analysis of one sample.
+func retrySeed(seed int64, name string, retry int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed + 1009*int64(retry) + int64(h.Sum64()&0xffff)
+}
+
+// sortedKeys returns m's keys in deterministic order.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ExtractionGraphs selects the graphs the Extractor works on: every
@@ -332,5 +441,10 @@ func (d *Discovery) Report() string {
 		fmt.Fprintf(&sb, "  %-28s %s\n", sig, d.Ext.Sems[sig])
 	}
 	fmt.Fprintf(&sb, "cost: %s\n", d.Rig.Stats)
+	fmt.Fprintf(&sb, "probe: %s\n", d.ProbeStats)
+	if d.CheckRetried > 0 || len(d.Dropped) > 0 {
+		fmt.Fprintf(&sb, "resilience: check_retries=%d samples_dropped=%d\n",
+			d.CheckRetried, len(d.Dropped))
+	}
 	return sb.String()
 }

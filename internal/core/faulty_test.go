@@ -96,21 +96,32 @@ func (m *flakyMachine) Execute(img *asm.Image) (string, error) {
 }
 
 func TestFlakyExecutor(t *testing.T) {
+	// The probe layer's output quorum must absorb the lies outright: a
+	// garble that never repeats within one quorum window cannot outvote
+	// the truth, so discovery on the flaky machine must reproduce the
+	// clean machine's description byte for byte.
+	clean, err := Discover(x86.New(), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := Discover(&flakyMachine{Toolchain: x86.New()}, Options{Seed: 5})
 	if err != nil {
-		return // aborting with a diagnosis is acceptable
+		t.Fatalf("the quorum should carry discovery past a 1-in-17 liar: %v", err)
 	}
-	// Whatever survived must still validate end-to-end on the honest
-	// machine: wrong semantics would miscompile the validation programs.
+	if d.ProbeStats.QuorumConflicts == 0 {
+		t.Error("the flaky runs must surface as quorum conflicts")
+	}
 	if d.Spec == nil {
-		return
+		t.Fatalf("no spec synthesized: %v", d.SpecErr)
 	}
+	got := strings.ReplaceAll(d.Spec.RenderBEG(d.Model), "x86-flaky", "x86")
+	if want := clean.Spec.RenderBEG(clean.Model); got != want {
+		t.Error("flaky executions leaked into the machine description")
+	}
+	// And the result must still validate end-to-end on the honest machine.
 	for _, r := range d.Validate(x86.New(), ValidationSuite) {
 		if !r.OK {
-			// A failure must be a loud gap, not silent wrong output.
-			if r.Err == nil {
-				t.Errorf("%s: silent wrong output %q (want %q)", r.Program, r.Got, r.Want)
-			}
+			t.Errorf("%s: got %q want %q (err %v)", r.Program, r.Got, r.Want, r.Err)
 		}
 	}
 }

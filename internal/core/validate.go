@@ -7,6 +7,7 @@ import (
 	"srcg/internal/beg"
 	"srcg/internal/cc"
 	"srcg/internal/ir"
+	"srcg/internal/probe"
 	"srcg/internal/target"
 )
 
@@ -57,6 +58,9 @@ type ValidationResult struct {
 func (d *Discovery) Validate(tc target.Toolchain, progs []Program) []ValidationResult {
 	out := make([]ValidationResult, 0, len(progs))
 	backend := beg.New(d.Spec)
+	// Validation drives the toolchain through the same resilient probe
+	// layer as discovery: transient faults retry, noisy runs go to quorum.
+	pr := probe.New(tc, probe.DefaultConfig())
 	for _, p := range progs {
 		r := ValidationResult{Program: p.Name}
 		unit, err := cc.CompileUnit(p.Source)
@@ -78,19 +82,19 @@ func (d *Discovery) Validate(tc target.Toolchain, progs []Program) []ValidationR
 			out = append(out, r)
 			continue
 		}
-		u, err := tc.Assemble(text)
+		u, err := pr.Assemble(text)
 		if err != nil {
 			r.Err = fmt.Errorf("assemble: %w", err)
 			out = append(out, r)
 			continue
 		}
-		img, err := tc.Link([]*asm.Unit{u})
+		img, err := pr.Link([]*asm.Unit{u})
 		if err != nil {
 			r.Err = fmt.Errorf("link: %w", err)
 			out = append(out, r)
 			continue
 		}
-		got, err := tc.Execute(img)
+		got, err := pr.Execute(img)
 		if err != nil {
 			r.Err = fmt.Errorf("execute: %w", err)
 			out = append(out, r)

@@ -2,30 +2,43 @@ package discovery
 
 import (
 	"srcg/internal/asm"
+	"srcg/internal/probe"
 	"srcg/internal/target"
 )
 
-// Rig wraps a target toolchain with interaction counting. The objects
-// returned by Assemble are treated as opaque handles — discovery-side code
-// never inspects them, preserving the black-box discipline.
+// Rig wraps a target toolchain with interaction counting and the resilient
+// probe layer: every toolchain call the discovery unit makes flows through
+// one probe.Prober that retries transient faults and re-executes noisy
+// runs under an output quorum (see internal/probe). The objects returned
+// by Assemble are treated as opaque handles — discovery-side code never
+// inspects them, preserving the black-box discipline.
 type Rig struct {
 	TC    target.Toolchain
+	P     *probe.Prober
 	Stats Stats
 }
 
-// NewRig wraps a toolchain.
-func NewRig(tc target.Toolchain) *Rig { return &Rig{TC: tc} }
+// NewRig wraps a toolchain under the default resilience policy.
+func NewRig(tc target.Toolchain) *Rig { return NewRigConfig(tc, probe.DefaultConfig()) }
+
+// NewRigConfig wraps a toolchain under an explicit resilience policy.
+func NewRigConfig(tc target.Toolchain, cfg probe.Config) *Rig {
+	return &Rig{TC: tc, P: probe.New(tc, cfg)}
+}
+
+// ProbeStats snapshots the probe layer's resilience counters.
+func (r *Rig) ProbeStats() probe.Stats { return r.P.Stats() }
 
 // CompileAsm runs the target C compiler on one translation unit.
 func (r *Rig) CompileAsm(src string) (string, error) {
 	r.Stats.Compiles++
-	return r.TC.CompileC(src)
+	return r.P.CompileC(src)
 }
 
 // Assemble runs the target assembler.
 func (r *Rig) Assemble(text string) (*asm.Unit, error) {
 	r.Stats.Assemblies++
-	return r.TC.Assemble(text)
+	return r.P.Assemble(text)
 }
 
 // Accepts probes the assembler for acceptance of a code fragment.
@@ -39,12 +52,12 @@ func (r *Rig) Accepts(text string) bool {
 // faults as "behaved differently").
 func (r *Rig) LinkRun(units ...*asm.Unit) (string, error) {
 	r.Stats.Links++
-	img, err := r.TC.Link(units)
+	img, err := r.P.Link(units)
 	if err != nil {
 		return "", err
 	}
 	r.Stats.Executions++
-	return r.TC.Execute(img)
+	return r.P.Execute(img)
 }
 
 // BuildRun compiles, assembles, links, and runs C translation units.

@@ -1,0 +1,63 @@
+package probe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// transient is the marker interface a toolchain error implements to signal
+// that the fault is environmental — a crashed compiler process, a dropped
+// rsh connection, an exhausted execution budget — rather than a verdict
+// about the probed program. The probe layer retries transient faults; a
+// permanent error (an assembler rejecting an opcode, a program faulting at
+// run time) is meaningful signal the discovery unit must see (§3.1, §4).
+type transient interface {
+	Transient() bool
+}
+
+// IsTransient reports whether err (or anything it wraps) marks itself as a
+// transient toolchain fault.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transient); ok {
+			return t.Transient()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// ExhaustedError reports a probe whose transient faults outlived its retry
+// budget. It is permanent: the caller has to treat the probe as failed.
+type ExhaustedError struct {
+	Op       string // "compile", "assemble", "link", "execute"
+	Attempts int
+	Last     error // the final transient fault observed
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("probe: %s still failing after %d attempts: %v", e.Op, e.Attempts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// Transient marks exhaustion as permanent even though the wrapped cause is
+// transient: without this, IsTransient would walk the Unwrap chain into
+// Last and send the caller back into the very loop that just gave up.
+func (e *ExhaustedError) Transient() bool { return false }
+
+// QuorumError reports an execution whose outputs never reached a quorum
+// within the re-probe budget — the machine is too noisy to trust a single
+// observation. It is transient: the outer retry loop re-runs the whole
+// quorum, and only an ExhaustedError makes the disagreement permanent.
+type QuorumError struct {
+	Runs  int
+	Votes int // distinct outputs observed
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("probe: no output quorum after %d runs (%d distinct outputs)", e.Runs, e.Votes)
+}
+
+// Transient marks quorum failures for the retry loop.
+func (e *QuorumError) Transient() bool { return true }

@@ -1,0 +1,307 @@
+// Package probe is the resilient seam between the discovery unit and a
+// target toolchain. The paper interrogates real machines over rsh (§2) —
+// compilers crash, links flake, executions hang, and adversarial targets
+// answer with noise — so every toolchain interaction of the discovery unit
+// is routed through one Prober that
+//
+//   - classifies errors as permanent (an assembler reject is meaningful
+//     signal, §3.1) or transient (marked via a Transient() bool method),
+//   - retries transient faults with a capped, fully deterministic backoff
+//     schedule (virtual time: durations are computed and accounted, never
+//     read from a wall clock), and
+//   - re-executes programs under a K-of-N quorum so that a machine lying
+//     on one run (nondeterministic scratch registers, garbled stdout)
+//     cannot make mutation analysis mis-attribute noise as a semantic
+//     difference (§4).
+//
+// The Prober is also the single choke point the planned parallel probe
+// engine and content-addressed probe cache will attach to.
+package probe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"srcg/internal/asm"
+	"srcg/internal/target"
+)
+
+// Config tunes the resilience policy.
+type Config struct {
+	// Retries is the transient-fault retry budget per probe (after the
+	// first attempt). 0 means DefaultRetries.
+	Retries int
+	// BackoffBase and BackoffCap bound the deterministic backoff schedule:
+	// attempt i waits min(BackoffBase<<(i-1), BackoffCap) of virtual time.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Sleep, when non-nil, receives each backoff duration (a remote target
+	// would pass time.Sleep). Nil keeps retries instantaneous and
+	// deterministic — the schedule is still computed and accounted.
+	Sleep func(time.Duration)
+	// QuorumN caps the executions spent seeking an output quorum. Two
+	// agreeing runs accept an output; once runs disagree, the bar rises to
+	// three. QuorumN=1 trusts a single run (no re-execution); 0 means
+	// DefaultQuorumN.
+	QuorumN int
+}
+
+// Policy defaults.
+const (
+	DefaultRetries = 8
+	DefaultQuorumN = 7
+)
+
+// DefaultConfig is the policy used when the caller does not care.
+func DefaultConfig() Config {
+	return Config{
+		Retries:     DefaultRetries,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  100 * time.Millisecond,
+		QuorumN:     DefaultQuorumN,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries <= 0 {
+		c.Retries = DefaultRetries
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 100 * time.Millisecond
+	}
+	if c.QuorumN <= 0 {
+		c.QuorumN = DefaultQuorumN
+	}
+	return c
+}
+
+// Stats counts the resilience work a Prober performed — the Diagnostics
+// half of the paper's cost story under a hostile machine room.
+type Stats struct {
+	Probes          int           // logical probe requests issued by the discovery unit
+	Attempts        int           // physical toolchain calls (includes retries and quorum runs)
+	Retries         int           // re-attempts after a transient fault
+	FaultsSurvived  int           // transient faults absorbed (retried or outvoted)
+	Exhausted       int           // probes that spent their whole retry budget
+	QuorumRuns      int           // executions spent on output quorums
+	QuorumConflicts int           // quorums where runs disagreed
+	Backoff         time.Duration // total virtual backoff time scheduled
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Probes += other.Probes
+	s.Attempts += other.Attempts
+	s.Retries += other.Retries
+	s.FaultsSurvived += other.FaultsSurvived
+	s.Exhausted += other.Exhausted
+	s.QuorumRuns += other.QuorumRuns
+	s.QuorumConflicts += other.QuorumConflicts
+	s.Backoff += other.Backoff
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("probes=%d attempts=%d retries=%d faults_survived=%d quorum_runs=%d quorum_conflicts=%d exhausted=%d backoff=%s",
+		s.Probes, s.Attempts, s.Retries, s.FaultsSurvived, s.QuorumRuns, s.QuorumConflicts, s.Exhausted, s.Backoff)
+}
+
+// Prober drives one toolchain resiliently. It is safe for concurrent use.
+type Prober struct {
+	cfg Config
+
+	mu    sync.Mutex
+	tc    target.Toolchain
+	stats Stats
+	// noisy is set the first time two runs of one program disagree, and
+	// never cleared: a machine caught lying once pays the higher quorum
+	// bar (3 agreeing runs instead of 2) for the rest of the session.
+	noisy bool
+}
+
+// Noisy reports whether the prober has ever caught two runs of one
+// program disagreeing.
+func (p *Prober) Noisy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.noisy
+}
+
+// New wraps a toolchain in the resilience policy.
+func New(tc target.Toolchain, cfg Config) *Prober {
+	return &Prober{tc: tc, cfg: cfg.withDefaults()}
+}
+
+// Toolchain returns the wrapped toolchain.
+func (p *Prober) Toolchain() target.Toolchain { return p.tc }
+
+// Stats snapshots the resilience counters.
+func (p *Prober) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// backoff accounts (and optionally sleeps) the wait before retry attempt
+// `retry` (1-based). The schedule is a pure function of the attempt index.
+func (p *Prober) backoff(retry int) {
+	d := p.cfg.BackoffBase << uint(retry-1)
+	if d > p.cfg.BackoffCap || d <= 0 {
+		d = p.cfg.BackoffCap
+	}
+	p.mu.Lock()
+	p.stats.Backoff += d
+	p.mu.Unlock()
+	if p.cfg.Sleep != nil {
+		p.cfg.Sleep(d)
+	}
+}
+
+// retry runs op, retrying transient faults up to the budget. Permanent
+// errors pass through untouched — they are the discovery unit's signal.
+func (p *Prober) retry(opName string, op func() error) error {
+	p.mu.Lock()
+	p.stats.Probes++
+	p.mu.Unlock()
+	var last error
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			p.backoff(attempt)
+			p.mu.Lock()
+			p.stats.Retries++
+			p.mu.Unlock()
+		}
+		err := op()
+		if err == nil || !IsTransient(err) {
+			if attempt > 0 {
+				p.mu.Lock()
+				p.stats.FaultsSurvived += attempt
+				p.mu.Unlock()
+			}
+			return err
+		}
+		last = err
+	}
+	p.mu.Lock()
+	p.stats.Exhausted++
+	p.mu.Unlock()
+	return &ExhaustedError{Op: opName, Attempts: p.cfg.Retries + 1, Last: last}
+}
+
+// CompileC compiles one translation unit, surviving transient faults.
+func (p *Prober) CompileC(src string) (string, error) {
+	var text string
+	err := p.retry("compile", func() error {
+		p.bump()
+		var err error
+		text, err = p.tc.CompileC(src)
+		return err
+	})
+	return text, err
+}
+
+// Assemble assembles text. A reject from the assembler is permanent — it
+// is the accept/reject oracle syntax discovery bisects against (§3.1).
+func (p *Prober) Assemble(text string) (*asm.Unit, error) {
+	var u *asm.Unit
+	err := p.retry("assemble", func() error {
+		p.bump()
+		var err error
+		u, err = p.tc.Assemble(text)
+		return err
+	})
+	return u, err
+}
+
+// Link links assembled units.
+func (p *Prober) Link(units []*asm.Unit) (*asm.Image, error) {
+	var img *asm.Image
+	err := p.retry("link", func() error {
+		p.bump()
+		var err error
+		img, err = p.tc.Link(units)
+		return err
+	})
+	return img, err
+}
+
+// Execute runs a linked image under the output quorum: a (stdout, error)
+// observation is only believed once enough independent runs agree, so a
+// single noisy run can never be attributed as semantics. Permanent
+// execution errors (a program faulting) are themselves observations and
+// vote like outputs.
+func (p *Prober) Execute(img *asm.Image) (string, error) {
+	var out string
+	err := p.retry("execute", func() error {
+		var err error
+		out, err = p.quorumExecute(img)
+		return err
+	})
+	return out, err
+}
+
+func (p *Prober) bump() {
+	p.mu.Lock()
+	p.stats.Attempts++
+	p.mu.Unlock()
+}
+
+type observation struct {
+	out string
+	err error
+}
+
+// quorumExecute runs the image until one observation gathers a quorum: two
+// agreeing runs normally, three once any disagreement has been seen. With
+// QuorumN=1 the first run is trusted. Transient execution faults do not
+// vote; they consume run budget and are retried by the caller if the
+// budget empties.
+func (p *Prober) quorumExecute(img *asm.Image) (string, error) {
+	if p.cfg.QuorumN == 1 {
+		p.bump()
+		return p.tc.Execute(img)
+	}
+	votes := map[string]int{}
+	obs := map[string]observation{}
+	conflict := false
+	for run := 0; run < p.cfg.QuorumN; run++ {
+		p.bump()
+		p.mu.Lock()
+		p.stats.QuorumRuns++
+		p.mu.Unlock()
+		out, err := p.tc.Execute(img)
+		if err != nil && IsTransient(err) {
+			continue // consumes a run slot; counted as survived if a quorum forms
+		}
+		key := "out:" + out
+		if err != nil {
+			key = "err:" + err.Error() + "\x00" + out
+		}
+		votes[key]++
+		obs[key] = observation{out, err}
+		if len(votes) > 1 && !conflict {
+			conflict = true
+			p.mu.Lock()
+			p.stats.QuorumConflicts++
+			p.noisy = true
+			p.mu.Unlock()
+		}
+		need := 2
+		if conflict || p.Noisy() {
+			need = 3
+		}
+		if votes[key] >= need {
+			// Every run that did not vote for the winner — losing
+			// outputs and transient faults alike — was noise this
+			// quorum absorbed.
+			p.mu.Lock()
+			p.stats.FaultsSurvived += run + 1 - votes[key]
+			p.mu.Unlock()
+			return obs[key].out, obs[key].err
+		}
+	}
+	return "", &QuorumError{Runs: p.cfg.QuorumN, Votes: len(votes)}
+}
