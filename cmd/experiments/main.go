@@ -19,8 +19,9 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
+	suite := experiments.NewSuite()
 	for _, id := range ids {
-		r, err := experiments.Run(id)
+		r, err := suite.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)

@@ -1,0 +1,67 @@
+// Command srcganalyze runs the repository's source-level analyzer suite:
+// the black-box import analyzer plus the five determinism-contract
+// analyzers (wallclock, seededrand, mapiter, globalstate, gohygiene).
+// It walks every analysis-side package under internal/, prints one line
+// per finding (file:line: analyzer: message), and exits nonzero if any
+// invariant is violated. CI runs it next to gofmt and go vet; the suite
+// must stay clean with zero suppressions — the parallel probe engine
+// depends on the contract it enforces.
+//
+// Usage:
+//
+//	srcganalyze [-root <module dir>]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"srcg/internal/check/analyzers"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing internal/)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: srcganalyze [-root <module dir>]")
+		os.Exit(2)
+	}
+
+	internalRoot := filepath.Join(*root, "internal")
+	if _, err := os.Stat(internalRoot); err != nil {
+		fmt.Fprintf(os.Stderr, "srcganalyze: %v\n", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	report := func(name string, findings []analyzers.Finding) {
+		for _, f := range findings {
+			fmt.Printf("%s: %s: %s\n", f.Pos, name, f.Message)
+		}
+		total += len(findings)
+	}
+
+	bb, err := analyzers.RunAll(analyzers.BlackBox, internalRoot)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srcganalyze: %s: %v\n", analyzers.BlackBox.Name, err)
+		os.Exit(2)
+	}
+	report(analyzers.BlackBox.Name, bb)
+
+	for _, a := range analyzers.Determinism {
+		findings, err := analyzers.RunScope(a, internalRoot, analyzers.DeterminismScope)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srcganalyze: %s: %v\n", a.Name, err)
+			os.Exit(2)
+		}
+		report(a.Name, findings)
+	}
+
+	if total > 0 {
+		fmt.Printf("srcganalyze: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+	fmt.Println("srcganalyze: clean (blackbox + determinism contract)")
+}

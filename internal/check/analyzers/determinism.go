@@ -1,0 +1,561 @@
+// Determinism contract infrastructure.
+//
+// The ROADMAP's parallel probe engine is only sound if discovery is
+// bit-deterministic at any worker count: mutation analysis compares runs
+// of mutated samples, so any run-to-run wobble in the pipeline itself is
+// indistinguishable from machine behavior. The five analyzers in this
+// directory (wallclock, seededrand, mapiter, globalstate, gohygiene)
+// statically enforce that contract over every analysis-side package; the
+// simulated targets under internal/target are the machines being
+// interrogated, not the interrogator, and are covered by the end-to-end
+// double-run test instead.
+//
+// Like the black-box analyzer, everything here is stdlib-only: no
+// golang.org/x/tools and no go/types importer (unreliable under modules
+// in a hermetic build), so map-typed expressions are resolved by a
+// lightweight per-package syntactic inference (see pkgTypes). The
+// inference is deliberately conservative: an expression whose type cannot
+// be resolved is never flagged.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DeterminismScope lists every analysis-side package directory (relative
+// to internal/) the determinism contract covers. internal/target and its
+// simulators are excluded: they are the ground truth being discovered,
+// reachable only through the toolchain interface, and their determinism
+// is asserted end to end by the double-run discovery test.
+var DeterminismScope = []string{
+	"asm", "beg", "cc", "check", "check/analyzers", "core", "dfg",
+	"discovery", "enquire", "experiments", "extract", "faulty", "gen",
+	"ir", "lexer", "machine", "mutate", "probe", "sem", "synth",
+}
+
+// Determinism bundles the five contract analyzers in reporting order.
+var Determinism = []*Analyzer{Wallclock, SeededRand, MapIter, GlobalState, GoHygiene}
+
+// RunScope applies an analyzer to every package in scope under the given
+// internal/ root and returns the combined findings, sorted by position.
+func RunScope(a *Analyzer, internalRoot string, scope []string) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range scope {
+		fs, err := a.Run(filepath.Join(internalRoot, pkg))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg, err)
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].String() < all[j].String() })
+	return all, nil
+}
+
+// parsedPkg is one directory's parsed, non-test Go files.
+type parsedPkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+	types *pkgTypes
+}
+
+// parsePkg parses every non-test .go file directly in dir. Files are
+// parsed with object resolution, so an *ast.Ident referring to a
+// declaration in the same file carries a non-nil Obj; idents naming
+// imported packages (and cross-file package-level objects) have Obj nil.
+func parsePkg(dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedPkg{fset: token.NewFileSet()}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(p.fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, f)
+	}
+	p.types = inferPkgTypes(p.files)
+	return p, nil
+}
+
+// importedAs returns the local name under which path is imported in f, or
+// "" if f does not import it. An unnamed import of "a/b/c" binds "c".
+func importedAs(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		ip := strings.Trim(imp.Path.Value, `"`)
+		if ip != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(ip, "/"); i >= 0 {
+			return ip[i+1:]
+		}
+		return ip
+	}
+	return ""
+}
+
+// isPkgSelector reports whether e is a selector pkgName.Sel where pkgName
+// is the package ident (Obj == nil: not a local or same-file object).
+func isPkgSelector(e ast.Expr, pkgName string) (sel string, ok bool) {
+	s, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	id, isIdent := s.X.(*ast.Ident)
+	if !isIdent || id.Name != pkgName || id.Obj != nil {
+		return "", false
+	}
+	return s.Sel.Name, true
+}
+
+// pkgTypes is the package-local type environment the map-iteration
+// analyzer resolves expressions against: named types, struct field types,
+// package-level variable types, and single-result function signatures,
+// all gathered syntactically from the package's own files. module, when
+// present, maps "pkg.Type" to type expressions gathered from sibling
+// scope packages so cross-package selectors resolve too.
+type pkgTypes struct {
+	named   map[string]ast.Expr // type name -> underlying type expression
+	fields  map[string]ast.Expr // struct field name -> type expression (unambiguous only)
+	ambig   map[string]bool     // field names with conflicting types across structs
+	globals map[string]ast.Expr // package-level var name -> type expression
+	results map[string]ast.Expr // func or method name -> sole result type
+	module  map[string]ast.Expr // "pkg.Type" -> type expression, cross-package
+}
+
+func inferPkgTypes(files []*ast.File) *pkgTypes {
+	pt := &pkgTypes{
+		named:   map[string]ast.Expr{},
+		fields:  map[string]ast.Expr{},
+		ambig:   map[string]bool{},
+		globals: map[string]ast.Expr{},
+		results: map[string]ast.Expr{},
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						pt.named[s.Name.Name] = s.Type
+						if st, ok := s.Type.(*ast.StructType); ok {
+							for _, fld := range st.Fields.List {
+								for _, n := range fld.Names {
+									if prev, seen := pt.fields[n.Name]; seen &&
+										exprString(prev) != exprString(fld.Type) {
+										pt.ambig[n.Name] = true
+									}
+									pt.fields[n.Name] = fld.Type
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						if d.Tok != token.VAR {
+							continue
+						}
+						for i, n := range s.Names {
+							if s.Type != nil {
+								pt.globals[n.Name] = s.Type
+							} else if i < len(s.Values) {
+								pt.globals[n.Name] = typeFromValue(s.Values[i])
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Type.Results != nil && len(d.Type.Results.List) == 1 &&
+					len(d.Type.Results.List[0].Names) <= 1 {
+					pt.results[d.Name.Name] = d.Type.Results.List[0].Type
+				}
+			}
+		}
+	}
+	return pt
+}
+
+// typeFromValue extracts a type expression from an initializer when the
+// syntax carries one: composite literals and make calls.
+func typeFromValue(v ast.Expr) ast.Expr {
+	switch e := v.(type) {
+	case *ast.CompositeLit:
+		return e.Type
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && id.Obj == nil && len(e.Args) > 0 {
+			return e.Args[0]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if t := typeFromValue(e.X); t != nil {
+				return &ast.StarExpr{X: t}
+			}
+		}
+	}
+	return nil
+}
+
+// loadModuleTypes builds the cross-package named-type table for the
+// module containing dir: every TypeSpec in every determinism-scope
+// package, keyed "pkgname.TypeName". dir is located inside the module by
+// its "internal" path element; when dir is not under an internal/ tree
+// (testdata fixtures), the table is nil and resolution stays
+// package-local. Parse failures in sibling packages are skipped — this
+// table only adds precision, never findings of its own.
+func loadModuleTypes(dir string) map[string]ast.Expr {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil
+	}
+	parts := strings.Split(filepath.ToSlash(abs), "/")
+	root := ""
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] == "internal" {
+			root = strings.Join(parts[:i+1], "/")
+			break
+		}
+	}
+	if root == "" {
+		return nil
+	}
+	module := map[string]ast.Expr{}
+	for _, pkg := range DeterminismScope {
+		pdir := filepath.Join(filepath.FromSlash(root), pkg)
+		entries, err := os.ReadDir(pdir)
+		if err != nil {
+			continue
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(pdir, e.Name()), nil, 0)
+			if err != nil {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						module[f.Name.Name+"."+ts.Name.Name] = ts.Type
+					}
+				}
+			}
+		}
+	}
+	return module
+}
+
+// funcScope resolves expression types inside one function body.
+type funcScope struct {
+	pkg  *pkgTypes
+	vars map[string]ast.Expr // local name -> type expression (nil = unknown)
+}
+
+// newFuncScope builds the flow-insensitive local type table for fn:
+// parameters, receivers, var declarations, := assignments, and range
+// variables, walking nested blocks too. First declaration of a name wins;
+// the inference only needs to answer "is this a map" for idioms where a
+// name has one type per function.
+func newFuncScope(pkg *pkgTypes, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) *funcScope {
+	s := &funcScope{pkg: pkg, vars: map[string]ast.Expr{}}
+	bind := func(names []*ast.Ident, t ast.Expr) {
+		for _, n := range names {
+			if n.Name == "_" {
+				continue
+			}
+			if _, seen := s.vars[n.Name]; !seen {
+				s.vars[n.Name] = t
+			}
+		}
+	}
+	if recv != nil {
+		for _, fld := range recv.List {
+			bind(fld.Names, fld.Type)
+		}
+	}
+	if ftype.Params != nil {
+		for _, fld := range ftype.Params.List {
+			bind(fld.Names, fld.Type)
+		}
+	}
+	if ftype.Results != nil {
+		for _, fld := range ftype.Results.List {
+			bind(fld.Names, fld.Type)
+		}
+	}
+	if body == nil {
+		return s
+	}
+	// Two passes: first bind declarations whose type is syntactically
+	// present, then resolve the rest (calls, indexing) against pass one.
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.DeclStmt:
+				if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							t := vs.Type
+							if t == nil && len(vs.Values) == 1 {
+								t = s.resolveValue(vs.Values[0], pass)
+							}
+							if t != nil {
+								bind(vs.Names, t)
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if st.Tok != token.DEFINE {
+					return true
+				}
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, lhs := range st.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if t := s.resolveValue(st.Rhs[i], pass); t != nil {
+								bind([]*ast.Ident{id}, t)
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if t := s.typeOf(st.X); t != nil {
+					under := s.underlying(t)
+					if mt, ok := under.(*ast.MapType); ok {
+						if id, ok := st.Key.(*ast.Ident); ok {
+							bind([]*ast.Ident{id}, mt.Key)
+						}
+						if st.Value != nil {
+							if id, ok := st.Value.(*ast.Ident); ok {
+								bind([]*ast.Ident{id}, mt.Value)
+							}
+						}
+					} else if at, ok := under.(*ast.ArrayType); ok && st.Value != nil {
+						if id, ok := st.Value.(*ast.Ident); ok {
+							bind([]*ast.Ident{id}, at.Elt)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// resolveValue maps an initializer expression to a type expression. Pass
+// 0 handles syntactically evident types; pass 1 may consult the partial
+// var table (calls, indexing, field access).
+func (s *funcScope) resolveValue(v ast.Expr, pass int) ast.Expr {
+	if t := typeFromValue(v); t != nil {
+		return t
+	}
+	if pass == 0 {
+		return nil
+	}
+	return s.typeOf(v)
+}
+
+// typeOf returns the type expression of e, or nil when unknown.
+func (s *funcScope) typeOf(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if t, ok := s.vars[x.Name]; ok {
+			return t
+		}
+		if t, ok := s.pkg.globals[x.Name]; ok {
+			return t
+		}
+	case *ast.ParenExpr:
+		return s.typeOf(x.X)
+	case *ast.SelectorExpr:
+		// Struct-precise first: resolve the base expression's type down to
+		// a struct and look the field up there (this also crosses package
+		// boundaries via the module table).
+		if bt, ok := s.underlying(s.deref(s.typeOf(x.X))).(*ast.StructType); ok {
+			for _, fld := range bt.Fields.List {
+				for _, n := range fld.Names {
+					if n.Name == x.Sel.Name {
+						return fld.Type
+					}
+				}
+			}
+			return nil
+		}
+		// Fallback: the flat field table, but only when every struct in
+		// the package agrees on the field's type.
+		if t, ok := s.pkg.fields[x.Sel.Name]; ok && !s.pkg.ambig[x.Sel.Name] {
+			return t
+		}
+	case *ast.IndexExpr:
+		base := s.underlying(s.typeOf(x.X))
+		switch bt := base.(type) {
+		case *ast.MapType:
+			return bt.Value
+		case *ast.ArrayType:
+			return bt.Elt
+		}
+	case *ast.StarExpr:
+		return s.deref(s.typeOf(x.X))
+	case *ast.CallExpr:
+		switch fn := x.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "make" && fn.Obj == nil && len(x.Args) > 0 {
+				return x.Args[0]
+			}
+			if t, ok := s.pkg.results[fn.Name]; ok {
+				return t
+			}
+		case *ast.SelectorExpr:
+			if t, ok := s.pkg.results[fn.Sel.Name]; ok {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// deref strips one pointer level from a type expression.
+func (s *funcScope) deref(t ast.Expr) ast.Expr {
+	if st, ok := t.(*ast.StarExpr); ok {
+		return st.X
+	}
+	return t
+}
+
+// underlying resolves named types (and pointers) down to a structural
+// type expression, bounded against cycles.
+func (s *funcScope) underlying(t ast.Expr) ast.Expr {
+	for i := 0; i < 8 && t != nil; i++ {
+		switch x := t.(type) {
+		case *ast.Ident:
+			u, ok := s.pkg.named[x.Name]
+			if !ok {
+				return t
+			}
+			t = u
+		case *ast.SelectorExpr:
+			// A qualified type like dfg.Graph: resolve through the
+			// module-wide table when available.
+			id, ok := x.X.(*ast.Ident)
+			if !ok || id.Obj != nil {
+				return t
+			}
+			u, ok := s.pkg.module[id.Name+"."+x.Sel.Name]
+			if !ok {
+				return t
+			}
+			t = u
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.StarExpr:
+			t = x.X
+		default:
+			return t
+		}
+	}
+	return t
+}
+
+// isMapExpr reports whether e resolves to a map type in this scope.
+func (s *funcScope) isMapExpr(e ast.Expr) bool {
+	// A composite literal or make() ranged directly.
+	if t := typeFromValue(e); t != nil {
+		_, ok := s.underlying(t).(*ast.MapType)
+		return ok
+	}
+	t := s.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := s.underlying(s.deref(t)).(*ast.MapType)
+	return ok
+}
+
+// funcScopes yields every function (and method) body in the package with
+// its resolved local scope.
+func (p *parsedPkg) funcScopes(visit func(f *ast.File, fn *ast.FuncDecl, sc *funcScope)) {
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(f, fd, newFuncScope(p.types, fd.Type, fd.Recv, fd.Body))
+		}
+	}
+}
+
+// mentionsIdent reports whether expr mentions an identifier named name.
+func mentionsIdent(expr ast.Node, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders an expression compactly for matching and messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	case *ast.CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprString(a)
+		}
+		return exprString(x.Fun) + "(" + strings.Join(args, ",") + ")"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
+	case *ast.BinaryExpr:
+		return exprString(x.X) + x.Op.String() + exprString(x.Y)
+	case *ast.MapType:
+		return "map[" + exprString(x.Key) + "]" + exprString(x.Value)
+	case *ast.ArrayType:
+		if x.Len == nil {
+			return "[]" + exprString(x.Elt)
+		}
+		return "[" + exprString(x.Len) + "]" + exprString(x.Elt)
+	case *ast.InterfaceType:
+		return "interface{...}"
+	case *ast.StructType:
+		return "struct{...}"
+	case *ast.FuncType:
+		return "func(...)"
+	case *ast.Ellipsis:
+		return "..." + exprString(x.Elt)
+	}
+	return "?"
+}

@@ -1,0 +1,124 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A want is one expected finding: the line it must sit on and a
+// substring its message must contain.
+type want struct {
+	line   int
+	substr string
+}
+
+// TestDeterminismAnalyzersFire runs each analyzer over its seeded
+// fixture in testdata/src/<name>/ and asserts two things: every planted
+// violation is reported (by line and message substring), and nothing
+// else is — the fixtures mix violations with the blessed safe idioms,
+// so a finding on an unlisted line means a safe idiom was flagged.
+func TestDeterminismAnalyzersFire(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		wants    []want
+	}{
+		{Wallclock, []want{
+			{9, "time.Now"},
+			{10, "time.Sleep"},
+			{11, "time.Since"},
+			{12, "time.Until"},
+			{13, "time.After"},
+			{14, "time.NewTicker"},
+		}},
+		{SeededRand, []want{
+			{10, "rand.Seed"},
+			{11, "rand.Intn"},
+			{12, "rand.Float64"},
+			{13, "rand.Shuffle"},
+		}},
+		{GoHygiene, []want{
+			{9, "channel type"},
+			{10, "naked go statement"},
+			{10, "channel send"},
+			{11, "channel receive"},
+			{14, "channel type"},
+			{15, "select statement"},
+			{16, "channel receive"},
+		}},
+		{GlobalState, []want{
+			{9, "has no initializer"},
+			{11, "is written at"},
+		}},
+		{MapIter, []want{
+			{19, "call fmt.Println ordered by map iteration"},
+			{20, "never sorted afterwards"},
+			{27, "write to mdl.bases[base] depends on map iteration order"},
+			{33, "return selects an arbitrary map element"},
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.analyzer.Name)
+			findings, err := tc.analyzer.Run(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range tc.wants {
+				if !hasFinding(findings, w) {
+					t.Errorf("no finding at line %d containing %q; got:\n%s",
+						w.line, w.substr, findingList(findings))
+				}
+			}
+			wantLines := map[int]bool{}
+			for _, w := range tc.wants {
+				wantLines[w.line] = true
+			}
+			for _, f := range findings {
+				if !wantLines[f.Pos.Line] {
+					t.Errorf("safe idiom flagged: %s", f)
+				}
+			}
+		})
+	}
+}
+
+func hasFinding(findings []Finding, w want) bool {
+	for _, f := range findings {
+		if f.Pos.Line == w.line && strings.Contains(f.Message, w.substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func findingList(findings []Finding) string {
+	if len(findings) == 0 {
+		return "  (none)"
+	}
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestDeterminismSuiteClean runs every determinism analyzer over the
+// real tree: the pipeline must satisfy its own parallel-readiness
+// contract, with zero suppressions.
+func TestDeterminismSuiteClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, a := range Determinism {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			findings, err := RunScope(a, root, DeterminismScope)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range findings {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// GlobalState forbids package-level mutable variables in analysis code.
+// A package-level var written at runtime is shared state between
+// concurrent discoveries (and between samples within one discovery), so
+// results come to depend on execution order. Two forms are flagged:
+//
+//   - a var with no initializer (zero-valued state that exists to be
+//     assigned later, e.g. a hook), and
+//   - a var assigned anywhere in its own package.
+//
+// Initialized-and-never-written vars pass: error sentinels, lookup
+// tables, and the analyzer registry itself are effectively constants that
+// Go's const syntax cannot express. Blank vars (`var _ = ...`) pass too —
+// they are compile-time interface assertions.
+var GlobalState = &Analyzer{
+	Name: "globalstate",
+	Doc: "forbid package-level mutable vars in analysis packages; " +
+		"consts, error sentinels and fixed tables exempt",
+	Run: runGlobalState,
+}
+
+func runGlobalState(dir string) ([]Finding, error) {
+	pkg, err := parsePkg(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: collect package-level vars. The object identity (when the
+	// reference is in the declaring file) or a nil Obj (cross-file
+	// reference) distinguishes them from local shadows.
+	type pkgVar struct {
+		spec        *ast.ValueSpec
+		pos         token.Pos
+		initialized bool
+	}
+	vars := map[string]pkgVar{}
+	specs := map[*ast.ValueSpec]bool{}
+	for _, f := range pkg.files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				specs[vs] = true
+				for _, n := range vs.Names {
+					if n.Name == "_" {
+						continue
+					}
+					vars[n.Name] = pkgVar{spec: vs, pos: n.Pos(), initialized: len(vs.Values) > 0}
+				}
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return nil, nil
+	}
+
+	// refersToPkgVar reports whether ident id is a reference to the
+	// package-level var of the same name (not a local shadow): either the
+	// parser resolved it to the package-level ValueSpec (same file), or it
+	// resolved to nothing at all (cross-file package scope).
+	refersToPkgVar := func(id *ast.Ident) bool {
+		v, isPkgVar := vars[id.Name]
+		if !isPkgVar {
+			return false
+		}
+		if id.Obj == nil {
+			return true
+		}
+		decl, _ := id.Obj.Decl.(*ast.ValueSpec)
+		return decl != nil && specs[decl] && decl == v.spec
+	}
+
+	// baseIdent unwraps an assignment target (index, selector, deref,
+	// parens) to the identifier being written through.
+	var baseIdent func(e ast.Expr) *ast.Ident
+	baseIdent = func(e ast.Expr) *ast.Ident {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			return baseIdent(x.X)
+		case *ast.SelectorExpr:
+			return baseIdent(x.X)
+		case *ast.StarExpr:
+			return baseIdent(x.X)
+		case *ast.ParenExpr:
+			return baseIdent(x.X)
+		}
+		return nil
+	}
+
+	// Pass 2: find writes.
+	written := map[string]token.Pos{}
+	note := func(e ast.Expr) {
+		if id := baseIdent(e); id != nil && refersToPkgVar(id) {
+			if _, seen := written[id.Name]; !seen {
+				written[id.Name] = e.Pos()
+			}
+		}
+	}
+	for _, f := range pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok == token.DEFINE {
+					return true // := always declares new (possibly shadowing) names
+				}
+				for _, lhs := range st.Lhs {
+					note(lhs)
+				}
+			case *ast.IncDecStmt:
+				note(st.X)
+			case *ast.RangeStmt:
+				if st.Tok == token.ASSIGN {
+					if st.Key != nil {
+						note(st.Key)
+					}
+					if st.Value != nil {
+						note(st.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var findings []Finding
+	for _, name := range names {
+		v := vars[name]
+		switch {
+		case !v.initialized:
+			findings = append(findings, Finding{
+				Pos: pkg.fset.Position(v.pos),
+				Message: fmt.Sprintf("package-level var %s has no initializer: "+
+					"zero-valued package state exists to be mutated — thread it "+
+					"through a struct field or parameter instead", name),
+			})
+		default:
+			if wpos, ok := written[name]; ok {
+				findings = append(findings, Finding{
+					Pos: pkg.fset.Position(v.pos),
+					Message: fmt.Sprintf("package-level var %s is written at %s: "+
+						"mutable package state couples concurrent discoveries — "+
+						"move it into the owning struct", name,
+						pkg.fset.Position(wpos)),
+				})
+			}
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,63 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// GoHygiene forbids ad-hoc concurrency in analysis code: naked go
+// statements, channel types, sends, receives, and select. Parallelism is
+// planned, but it must land through one audited seam (the future
+// internal/pool worker pool attached at probe.Prober) where an ordered
+// reduction keeps results bit-identical at any worker count. A goroutine
+// launched anywhere else reintroduces scheduling order as a hidden input
+// to analysis. sync primitives (Mutex et al.) stay legal — probe.Prober
+// already guards its counters with one.
+var GoHygiene = &Analyzer{
+	Name: "gohygiene",
+	Doc: "forbid go statements and channel use outside internal/pool so " +
+		"concurrency lands through one audited seam",
+	Run: runGoHygiene,
+}
+
+func runGoHygiene(dir string) ([]Finding, error) {
+	if strings.HasSuffix(filepath.ToSlash(dir), "internal/pool") {
+		return nil, nil // the audited seam itself
+	}
+	pkg, err := parsePkg(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	flag := func(pos token.Pos, what string) {
+		findings = append(findings, Finding{
+			Pos: pkg.fset.Position(pos),
+			Message: fmt.Sprintf("%s: concurrency may only enter through the "+
+				"audited internal/pool seam, where an ordered reduction keeps "+
+				"discovery bit-identical at any worker count", what),
+		})
+	}
+	for _, f := range pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				flag(x.Pos(), "naked go statement")
+			case *ast.SendStmt:
+				flag(x.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					flag(x.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				flag(x.Pos(), "select statement")
+			case *ast.ChanType:
+				flag(x.Pos(), "channel type")
+			}
+			return true
+		})
+	}
+	return findings, nil
+}

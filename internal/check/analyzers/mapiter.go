@@ -1,0 +1,353 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MapIter forbids order-dependent work inside `range` over a map — the
+// classic source of run-to-run machine-description diffs. Go randomizes
+// map iteration order on purpose, so any loop body that emits output,
+// hashes, accumulates into a slice, appends diagnostics, or calls into
+// the toolchain observes a different order on every run. The analyzer
+// permits the bodies that genuinely commute:
+//
+//   - declarations and writes to loop-local variables,
+//   - delete/clear/panic builtins,
+//   - x++/x-- and commutative op-assignments (+= on numbers, |=, &=, ^=),
+//   - idempotent latches (m[k] = true, changed = true, x = nil),
+//   - per-key writes: an indexed write whose index mentions the range
+//     KEY variable (copying a map is fine; keying by the VALUE is not),
+//   - slice accumulation that is sorted before leaving the function
+//     (collect-then-sort, the canonical fix).
+//
+// Everything else order-couples the result and is flagged. Map types are
+// resolved by the package-local inference in determinism.go; expressions
+// it cannot resolve are never flagged, and call arguments/conditions are
+// not analyzed — the double-run discovery test backstops what static
+// conservatism lets through.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "forbid order-dependent loop bodies in range-over-map: no output, " +
+		"hashing, diagnostics or unsorted slice accumulation from map order",
+	Run: runMapIter,
+}
+
+// sortishFuncs are the sort entry points that discharge a slice
+// accumulation when called after the loop in the same function.
+var sortishFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func runMapIter(dir string) ([]Finding, error) {
+	pkg, err := parsePkg(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg.types.module = loadModuleTypes(dir)
+	var findings []Finding
+	pkg.funcScopes(func(f *ast.File, fn *ast.FuncDecl, sc *funcScope) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !sc.isMapExpr(rs.X) {
+				return true
+			}
+			checkMapRange(pkg, sc, fn, rs, &findings)
+			return true
+		})
+	})
+	return findings, nil
+}
+
+func checkMapRange(pkg *parsedPkg, sc *funcScope, fn *ast.FuncDecl, rs *ast.RangeStmt, findings *[]Finding) {
+	keyName := identName(rs.Key)
+	valName := identName(rs.Value)
+	if keyName == "" && valName == "" {
+		return // `for range m` bodies cannot distinguish iterations
+	}
+	mapName := exprString(rs.X)
+
+	flag := func(pos token.Pos, format string, args ...interface{}) {
+		*findings = append(*findings, Finding{
+			Pos:     pkg.fset.Position(pos),
+			Message: fmt.Sprintf(format, args...) + fmt.Sprintf(" (in range over map %s)", mapName),
+		})
+	}
+
+	// Names declared inside the loop body (plus the loop variables
+	// themselves) are per-iteration state: writes to them commute.
+	locals := bodyLocals(rs)
+	if keyName != "" {
+		locals[keyName] = true
+	}
+	if valName != "" {
+		locals[valName] = true
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Obj == nil &&
+				(id.Name == "delete" || id.Name == "clear" || id.Name == "panic") {
+				return true
+			}
+			flag(st.Pos(), "call %s ordered by map iteration: output, hashing and "+
+				"toolchain probes must not observe map order — iterate sorted keys",
+				exprString(call.Fun))
+		case *ast.DeferStmt:
+			flag(st.Pos(), "defer ordered by map iteration")
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if !isConstLike(r) {
+					flag(st.Pos(), "return selects an arbitrary map element: "+
+						"which iteration returns first varies run to run")
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			return true // counting commutes
+		case *ast.AssignStmt:
+			checkMapRangeAssign(st, keyName, locals, sc, fn, rs, flag)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(st *ast.AssignStmt, keyName string, locals map[string]bool,
+	sc *funcScope, fn *ast.FuncDecl, rs *ast.RangeStmt,
+	flag func(token.Pos, string, ...interface{})) {
+
+	switch st.Tok {
+	case token.DEFINE:
+		return // declares per-iteration variables
+	case token.ADD_ASSIGN:
+		// Numeric += commutes across iterations; string += concatenates in
+		// iteration order. Unresolvable types pass (conservative).
+		lhs := st.Lhs[0]
+		if id := assignBase(lhs); id != nil && locals[id.Name] {
+			return
+		}
+		if t, ok := sc.underlying(sc.typeOf(st.Lhs[0])).(*ast.Ident); ok && t.Name == "string" {
+			flag(st.Pos(), "string concatenation onto %s in map order", exprString(lhs))
+		}
+		return
+	case token.SUB_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN,
+		token.OR_ASSIGN, token.XOR_ASSIGN:
+		return // commutative accumulation
+	case token.QUO_ASSIGN, token.REM_ASSIGN, token.SHL_ASSIGN,
+		token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+		flag(st.Pos(), "non-commutative op-assignment to %s accumulates in map order",
+			exprString(st.Lhs[0]))
+		return
+	}
+
+	// Plain `=`.
+	for i, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		base := assignBase(lhs)
+		if base != nil && locals[base.Name] {
+			continue
+		}
+		// Idempotent latch: every iteration stores the same constant.
+		if len(st.Lhs) == len(st.Rhs) && isConstLike(st.Rhs[i]) {
+			continue
+		}
+		// Self-append: legal only when the accumulated slice is sorted
+		// before the function is done with it.
+		if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && id.Obj == nil &&
+					len(call.Args) > 0 && exprString(call.Args[0]) == exprString(lhs) {
+					if !sortedAfter(fn, rs, exprString(lhs)) {
+						flag(st.Pos(), "%s accumulates map elements in iteration "+
+							"order and is never sorted afterwards", exprString(lhs))
+					}
+					continue
+				}
+			}
+		}
+		// Per-key write: the destination is indexed by the range KEY, so
+		// each iteration touches its own slot regardless of order.
+		if indexMentions(lhs, keyName) {
+			continue
+		}
+		flag(st.Pos(), "write to %s depends on map iteration order: the last "+
+			"iteration wins and the winner varies run to run", exprString(lhs))
+	}
+}
+
+// bodyLocals collects every name declared inside the loop body: short
+// variable declarations, var decls, nested loop variables, type-switch
+// bindings and func-literal parameters.
+func bodyLocals(rs *ast.RangeStmt) map[string]bool {
+	locals := map[string]bool{}
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			locals[id.Name] = true
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, lhs := range x.Lhs {
+					add(lhs)
+				}
+			}
+		case *ast.GenDecl:
+			if x.Tok == token.VAR {
+				for _, spec := range x.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							add(name)
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Tok == token.DEFINE {
+				if x.Key != nil {
+					add(x.Key)
+				}
+				if x.Value != nil {
+					add(x.Value)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if a, ok := x.Assign.(*ast.AssignStmt); ok {
+				for _, lhs := range a.Lhs {
+					add(lhs)
+				}
+			}
+		case *ast.FuncLit:
+			for _, fld := range x.Type.Params.List {
+				for _, name := range fld.Names {
+					add(name)
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// identName returns the name of a loop-variable expression, "" for nil
+// or the blank identifier.
+func identName(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return ""
+	}
+	return id.Name
+}
+
+// assignBase unwraps an assignment target to the identifier being
+// written through: m.LitBases[b] writes through m.
+func assignBase(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isConstLike reports whether storing e is idempotent across iterations:
+// literals, true/false/nil, negated literals, and empty composite
+// literals (the make-the-bucket idiom `m[k] = map[string]bool{}`).
+func isConstLike(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return x.Obj == nil && (x.Name == "true" || x.Name == "false" || x.Name == "nil")
+	case *ast.UnaryExpr:
+		return isConstLike(x.X)
+	case *ast.CompositeLit:
+		return len(x.Elts) == 0
+	case *ast.CallExpr:
+		// make(...) with constant args mints an identical empty container
+		// each iteration.
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && id.Obj == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// indexMentions reports whether e is (or contains) an indexed write whose
+// index expression mentions the given name.
+func indexMentions(e ast.Expr, name string) bool {
+	if name == "" {
+		return false
+	}
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			if mentionsIdent(x.Index, name) {
+				return true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortedAfter reports whether a sort call covering target appears after
+// the range statement in the same function — the collect-then-sort idiom.
+func sortedAfter(fn *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortishFuncs[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || (id.Name != "sort" && id.Name != "slices") || id.Obj != nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			as := exprString(arg)
+			if as == target || strings.Contains(as, "("+target+")") ||
+				strings.HasPrefix(as, target+"[") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

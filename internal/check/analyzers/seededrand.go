@@ -1,0 +1,74 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// seededRandAllowed are the math/rand selectors that do not touch the
+// package-level (globally seeded, lock-shared) generator: constructors
+// that take an explicit source and the generator/source type names.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// SeededRand forbids the math/rand package-level generator. The paper's
+// mutation analysis is replayed under fixed seeds (retry seeds are
+// derived per sample); randomness must flow from an explicit seed
+// parameter through rand.New(rand.NewSource(seed)) so that two runs — or
+// two workers splitting one run — draw identical sequences. math/rand/v2
+// is banned outright: its top-level generators are auto-seeded.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid math/rand top-level functions; randomness must flow " +
+		"from an explicit seed via rand.New(rand.NewSource(seed))",
+	Run: runSeededRand,
+}
+
+func runSeededRand(dir string) ([]Finding, error) {
+	pkg, err := parsePkg(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, f := range pkg.files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"math/rand/v2"` {
+				findings = append(findings, Finding{
+					Pos: pkg.fset.Position(imp.Pos()),
+					Message: "imports math/rand/v2: its top-level generators are " +
+						"auto-seeded and unreplayable — use math/rand with an " +
+						"explicit rand.NewSource(seed)",
+				})
+			}
+		}
+		local := importedAs(f, "math/rand")
+		if local == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, isExpr := n.(ast.Expr)
+			if !isExpr {
+				return true
+			}
+			sel, ok := isPkgSelector(e, local)
+			if !ok || seededRandAllowed[sel] {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos: pkg.fset.Position(n.Pos()),
+				Message: fmt.Sprintf("rand.%s uses the package-level generator: "+
+					"mutation analysis must be replayable under a fixed seed — "+
+					"thread a *rand.Rand built from rand.NewSource(seed)", sel),
+			})
+			return true
+		})
+	}
+	return findings, nil
+}

@@ -1,0 +1,30 @@
+// Package globalstate is a seeded-violation fixture for the globalstate
+// analyzer: package-level variables that start zero-valued or are
+// reassigned after initialization must be flagged; initialized-once
+// tables, error sentinels, and blank assertions must pass.
+package globalstate
+
+import "errors"
+
+var hook func(string)
+
+var counter = 0
+
+var errBad = errors.New("bad")
+
+var table = map[string]int{"a": 1}
+
+var _ = errBad
+
+func flagged() {
+	counter++
+	hook = nil
+}
+
+func safe() int {
+	counter := 5
+	table := map[string]int{}
+	table = nil
+	_ = table
+	return counter
+}

@@ -1,0 +1,28 @@
+// Package gohygiene is a seeded-violation fixture for the gohygiene
+// analyzer: goroutines, channels, sends, receives, and selects must all
+// be flagged; mutex-guarded sequential code must pass.
+package gohygiene
+
+import "sync"
+
+func flagged(n int) int {
+	ch := make(chan int)
+	go func() { ch <- n }()
+	return <-ch
+}
+
+func alsoFlagged(done chan struct{}) {
+	select {
+	case <-done:
+	default:
+	}
+}
+
+func safe(counts map[string]int) func(string) {
+	var mu sync.Mutex
+	return func(k string) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[k]++
+	}
+}

@@ -1,0 +1,79 @@
+// Package mapiter is a seeded-violation fixture for the mapiter
+// analyzer: order-dependent work inside a range over a map must be
+// flagged; the blessed idioms (collect-then-sort, per-key writes,
+// commutative accumulation, constant latches, deletion) must pass.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+)
+
+type model struct {
+	bases map[int]string
+}
+
+func emitInMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		fmt.Println(k)
+		out = append(out, k)
+	}
+	return out
+}
+
+func lastWriterWins(mdl *model, reps map[string]int) {
+	for rep, base := range reps {
+		mdl.bases[base] = rep
+	}
+}
+
+func pickArbitrary(m map[string]bool) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func safeCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func safePerKeyCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func safeLatch(index map[string]map[int]bool, n int) bool {
+	changed := false
+	for k := range index {
+		if index[k] == nil {
+			index[k] = map[int]bool{}
+		}
+		index[k][n] = true
+		changed = true
+	}
+	return changed
+}
+
+func safeCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func safeDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

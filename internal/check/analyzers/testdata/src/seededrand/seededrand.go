@@ -1,0 +1,19 @@
+// Package seededrand is a seeded-violation fixture for the seededrand
+// analyzer: the package-level math/rand generator (process-global,
+// unseeded or seeded once) must be flagged; an explicit rand.New with a
+// caller-supplied seed must pass.
+package seededrand
+
+import "math/rand"
+
+func flagged() int {
+	rand.Seed(42)
+	n := rand.Intn(10)
+	_ = rand.Float64()
+	rand.Shuffle(n, func(i, j int) {})
+	return n
+}
+
+func safe(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,25 @@
+// Package wallclock is a seeded-violation fixture for the wallclock
+// analyzer: every read of the wall clock must be flagged; duration
+// arithmetic and formatting helpers must pass.
+package wallclock
+
+import "time"
+
+func flagged() {
+	start := time.Now()
+	time.Sleep(5 * time.Millisecond)
+	_ = time.Since(start)
+	_ = time.Until(start)
+	<-time.After(time.Second)
+	tick := time.NewTicker(time.Second)
+	tick.Stop()
+}
+
+func safe(d time.Duration) string {
+	d = d * 2
+	budget := 3 * time.Millisecond
+	if d > budget {
+		d = budget
+	}
+	return d.String()
+}

@@ -1,0 +1,71 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// wallclockDenied are the time package functions that read or schedule
+// against the wall clock. time.Duration arithmetic and the duration
+// constants stay legal: internal/probe models its backoff schedule in
+// virtual time — durations are computed and accounted, never measured.
+var wallclockDenied = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "schedules on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"Tick":      "schedules on the wall clock",
+	"NewTicker": "schedules on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+}
+
+// Wallclock forbids wall-clock time in analysis code. Two discovery runs
+// with the same seed must be bit-identical; any value derived from
+// time.Now (timestamps in reports, elapsed-time cutoffs, timer-driven
+// retries) varies between runs and between workers, so analysis code may
+// only use virtual time: durations computed from configuration and
+// accounted in Stats.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since and timers in analysis code; " +
+		"virtual time only (computed durations, never measured ones)",
+	Run: runWallclock,
+}
+
+func runWallclock(dir string) ([]Finding, error) {
+	pkg, err := parsePkg(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, f := range pkg.files {
+		local := importedAs(f, "time")
+		if local == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, isExpr := n.(ast.Expr)
+			if !isExpr {
+				return true
+			}
+			sel, ok := isPkgSelector(e, local)
+			if !ok {
+				return true
+			}
+			why, denied := wallclockDenied[sel]
+			if !denied {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos: pkg.fset.Position(n.Pos()),
+				Message: fmt.Sprintf("time.%s %s: analysis code must be "+
+					"bit-deterministic across runs and workers — use virtual "+
+					"time (computed durations) as internal/probe does", sel, why),
+			})
+			return true
+		})
+	}
+	return findings, nil
+}

@@ -94,11 +94,17 @@ func (f *facts) reaching() []map[string]map[int]bool {
 					continue
 				}
 				for s := range srcs {
-					addReach(out, reg, s)
+					if out[reg] == nil {
+						out[reg] = map[int]bool{}
+					}
+					out[reg][s] = true
 				}
 			}
 			for reg := range f.defs[i] {
-				addReach(out, reg, i)
+				if out[reg] == nil {
+					out[reg] = map[int]bool{}
+				}
+				out[reg][i] = true
 			}
 			for _, s := range f.succs[i] {
 				if s >= f.n {
@@ -107,7 +113,10 @@ func (f *facts) reaching() []map[string]map[int]bool {
 				for reg, srcs := range out {
 					for d := range srcs {
 						if !reach[s][reg][d] {
-							addReach(reach[s], reg, d)
+							if reach[s][reg] == nil {
+								reach[s][reg] = map[int]bool{}
+							}
+							reach[s][reg][d] = true
 							changed = true
 						}
 					}
@@ -157,13 +166,6 @@ func (f *facts) liveness() (liveIn, liveOut []map[string]bool) {
 		}
 	}
 	return liveIn, liveOut
-}
-
-func addReach(m map[string]map[int]bool, reg string, step int) {
-	if m[reg] == nil {
-		m[reg] = map[int]bool{}
-	}
-	m[reg][step] = true
 }
 
 func containsInt(s []int, v int) bool {

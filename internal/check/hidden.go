@@ -76,13 +76,11 @@ func hiddenPairLedger(analyses map[string]*mutate.Analysis) map[string]map[strin
 			consuming[h.To] = true
 			producers := groupOps(a, h.From)
 			for _, consumer := range groupOps(a, h.To) {
-				set := ledger[consumer]
-				if set == nil {
-					set = map[string]bool{}
-					ledger[consumer] = set
+				if ledger[consumer] == nil {
+					ledger[consumer] = map[string]bool{}
 				}
 				for _, p := range producers {
-					set[p] = true
+					ledger[consumer][p] = true
 				}
 			}
 		}

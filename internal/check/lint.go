@@ -28,7 +28,13 @@ func LintSpec(m *discovery.Model, s *synth.Spec) []Diagnostic {
 		body := strings.Join(nt.t.Lines, "\n")
 		byBody[body] = append(byBody[body], nt.name)
 	}
-	for body, names := range byBody {
+	bodies := make([]string, 0, len(byBody))
+	for body := range byBody {
+		bodies = append(bodies, body)
+	}
+	sort.Strings(bodies)
+	for _, body := range bodies {
+		names := byBody[body]
 		if len(names) > 1 {
 			sort.Strings(names)
 			diags = append(diags, errf(CodeDuplicateTemplate, "spec", -1,

@@ -1,6 +1,8 @@
 package check
 
 import (
+	"sort"
+
 	"srcg/internal/dfg"
 	"srcg/internal/discovery"
 	"srcg/internal/mutate"
@@ -16,8 +18,13 @@ func VerifyGraph(m *discovery.Model, a *mutate.Analysis, g *dfg.Graph) []Diagnos
 	name := g.Sample.Name
 	var diags []Diagnostic
 
-	for label, idx := range g.Labels {
-		if idx < 0 || idx > len(g.Steps) {
+	labels := make([]string, 0, len(g.Labels))
+	for label := range g.Labels {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		if idx := g.Labels[label]; idx < 0 || idx > len(g.Steps) {
 			diags = append(diags, errf(CodeLabelResolution, name, -1,
 				"label %q resolves to step %d, outside the region's %d steps",
 				label, idx, len(g.Steps)))
@@ -77,16 +84,26 @@ func VerifyGraph(m *discovery.Model, a *mutate.Analysis, g *dfg.Graph) []Diagnos
 				if escapes {
 					continue
 				}
-				// A dead store that a later step overwrites is a residue
-				// of single-pass redundancy elimination (its consumer was
-				// removed first), as is a duplicate of a surviving step
-				// (b|b loads b twice; eliminating the `or` strands the
-				// second load, but the value still reaches the output
-				// through its twin). Only a value that vanishes — never
-				// read, never overwritten, computed nowhere else —
-				// indicates a broken graph.
-				if !liveOut[i][p.Reg] && !f.uses[i][p.Reg] && !definedLater(f, i, p.Reg) &&
-					!hasTwin(g, i) {
+				if liveOut[i][p.Reg] || f.uses[i][p.Reg] {
+					continue
+				}
+				// The definition is dead within the region. dfg.Build
+				// annotates the elimination residue that legitimately
+				// strands a definition: a consumer the redundancy
+				// eliminator removed (recorded in the Removed ledger), or
+				// a surviving twin that carries the same value onward. A
+				// dead definition without such evidence indicates a
+				// broken graph — it never had a consumer — whether or not
+				// something overwrites the register later.
+				if p.Residue != dfg.ResidueNone {
+					continue
+				}
+				if definedLater(f, i, p.Reg) {
+					diags = append(diags, warnf(CodeDeadDefinition, name, i,
+						"register %s is defined here and only overwritten, and the "+
+							"elimination ledger records no removed consumer — the "+
+							"definition never had one", p.Reg))
+				} else {
 					diags = append(diags, warnf(CodeDeadDefinition, name, i,
 						"register %s is defined here but never read or overwritten", p.Reg))
 				}
@@ -124,36 +141,6 @@ func verifyRegWire(name string, step int, p dfg.Port, f *facts,
 			"input %s has no reaching definition and is not live into the region", p.Reg)}
 	}
 	return nil
-}
-
-// hasTwin reports whether another step computes the same value: same
-// opcode, identical input ports. Such a twin carries the dead step's
-// value to its consumers, so nothing is actually lost.
-func hasTwin(g *dfg.Graph, i int) bool {
-	for j := range g.Steps {
-		if j == i {
-			continue
-		}
-		if g.Steps[j].Instr.Op == g.Steps[i].Instr.Op &&
-			samePorts(g.Steps[j].Ins, g.Steps[i].Ins) {
-			return true
-		}
-	}
-	return false
-}
-
-func samePorts(a, b []dfg.Port) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i].Kind != b[i].Kind || a[i].Reg != b[i].Reg ||
-			a[i].Addr != b[i].Addr || a[i].Lit != b[i].Lit ||
-			a[i].Tag != b[i].Tag {
-			return false
-		}
-	}
-	return true
 }
 
 func targetInRegion(g *dfg.Graph, target string) bool {

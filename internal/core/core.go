@@ -171,8 +171,12 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 	// Locate each sample's output-cell writer (needed so only genuine
 	// stores get memory-output ports in the data-flow graphs).
 	if constA, ok := d.Analyses["int.const.34117"]; ok {
-		for _, a := range d.Analyses {
-			engine.FindMemWriter(a, constA.Region, 34117)
+		// Walk the sample list, not the map: FindMemWriter probes the
+		// toolchain, and the probe sequence must be identical run to run.
+		for _, s := range samples {
+			if a, ok := d.Analyses[s.Name]; ok {
+				engine.FindMemWriter(a, constA.Region, 34117)
+			}
 		}
 	}
 

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestDoubleRunDiscoveryByteIdentical is the determinism contract's
+// end-to-end backstop: two complete discoveries of the same target under
+// the same options must produce byte-identical reports and specs. The
+// static analyzers in internal/check/analyzers forbid the obvious
+// nondeterminism sources (wall clock, global rand, map-order output,
+// mutable package state); this test catches whatever slips past them —
+// probe-order drift, allocation-order artifacts, anything. CI runs it
+// under -race, so it also doubles as a data-race probe over the full
+// pipeline.
+func TestDoubleRunDiscoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten full discoveries")
+	}
+	for _, tt := range gauntletTargets {
+		tt := tt
+		t.Run(tt.arch, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Seed: 1, Check: true}
+			d1, err := Discover(tt.ctor(), opts)
+			if err != nil {
+				t.Fatalf("first discovery failed: %v", err)
+			}
+			d2, err := Discover(tt.ctor(), opts)
+			if err != nil {
+				t.Fatalf("second discovery failed: %v", err)
+			}
+			r1, r2 := d1.Report(), d2.Report()
+			if r1 != r2 {
+				t.Errorf("reports differ between identical runs:\n%s",
+					firstDiffLine(r1, r2))
+			}
+			if d1.Spec == nil || d2.Spec == nil {
+				t.Fatalf("spec missing: run1=%v run2=%v", d1.SpecErr, d2.SpecErr)
+			}
+			b1 := d1.Spec.RenderBEG(d1.Model)
+			b2 := d2.Spec.RenderBEG(d2.Model)
+			if b1 != b2 {
+				t.Errorf("rendered BEG specs differ between identical runs:\n%s",
+					firstDiffLine(b1, b2))
+			}
+			if d1.Rig.Stats.Executions != d2.Rig.Stats.Executions {
+				t.Errorf("execution counts differ: %d vs %d — the probe sequence "+
+					"itself is nondeterministic", d1.Rig.Stats.Executions,
+					d2.Rig.Stats.Executions)
+			}
+		})
+	}
+}
+
+// firstDiffLine renders the first line where two texts diverge, with a
+// little context, so a failure is diagnosable without dumping both specs.
+func firstDiffLine(a, b string) string {
+	la, lb := splitLines(a), splitLines(b)
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			return "line " + strconv.Itoa(i+1) + ":\n  run1: " + la[i] + "\n  run2: " + lb[i]
+		}
+	}
+	return "line " + strconv.Itoa(n+1) + ": one run has " + strconv.Itoa(len(la)) +
+		" lines, the other " + strconv.Itoa(len(lb))
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(lines, s[start:])
+}

@@ -27,6 +27,42 @@ const (
 	PHidden                 // hidden channel endpoint (condition codes, hi/lo)
 )
 
+// ResidueKind classifies why a register definition may legitimately go
+// unread within the region: single-pass redundancy elimination (mutation
+// analysis, Figs. 5-6) removes instructions one at a time, so a surviving
+// definition can be stranded by the removal of its reader. Build records
+// the evidence explicitly so the verifier exempts exactly the dead
+// definitions elimination can account for — and flags the ones that
+// never had a consumer at all.
+type ResidueKind int
+
+const (
+	// ResidueNone: no elimination evidence touches this definition. A
+	// dead definition with no residue annotation indicates a broken
+	// graph, whether or not something overwrites it later.
+	ResidueNone ResidueKind = iota
+	// ResidueEliminatedConsumer: the elimination ledger (Analysis.Removed
+	// against RegionPreElim) records a removed instruction after this
+	// step that mentioned this register — the definition had a consumer,
+	// and redundancy elimination took it.
+	ResidueEliminatedConsumer
+	// ResidueTwinCarrier: another surviving step computes the same value
+	// (same opcode, identical input ports), so the value still reaches
+	// its consumers through the twin (b|b loads b twice; eliminating the
+	// `or` strands one load).
+	ResidueTwinCarrier
+)
+
+func (r ResidueKind) String() string {
+	switch r {
+	case ResidueEliminatedConsumer:
+		return "eliminated-consumer"
+	case ResidueTwinCarrier:
+		return "twin-carrier"
+	}
+	return "none"
+}
+
 // Port is one value endpoint of a step.
 type Port struct {
 	Kind   PortKind
@@ -43,6 +79,11 @@ type Port struct {
 	// KeyName overrides the default port key (hidden ports: a producer
 	// writing several hidden values gets one key per consumer).
 	KeyName string
+
+	// Residue, on PReg output ports, records why this definition may go
+	// unread (see ResidueKind). Build sets it from the elimination
+	// ledger; hand-built graphs leave it ResidueNone.
+	Residue ResidueKind
 }
 
 func (p Port) String() string {
@@ -220,7 +261,75 @@ func Build(m *discovery.Model, a *mutate.Analysis, slots Slots) (*Graph, error) 
 		return nil, fmt.Errorf("dfg: %s: no steps", a.Sample.Name)
 	}
 	g.wireConditionCodes()
+	annotateResidue(g, a)
 	return g, nil
+}
+
+// annotateResidue marks register output ports with the elimination
+// evidence that can account for them going unread: a removed consumer in
+// the elimination ledger, or a surviving twin computing the same value.
+func annotateResidue(g *Graph, a *mutate.Analysis) {
+	removed := map[int]bool{} // original source lines eliminated as redundant
+	for _, line := range a.Removed {
+		removed[line] = true
+	}
+	for i := range g.Steps {
+		st := &g.Steps[i]
+		for pi := range st.Outs {
+			p := &st.Outs[pi]
+			if p.Kind != PReg {
+				continue
+			}
+			switch {
+			case eliminatedConsumer(a, removed, st.Instr.Line, p.Reg):
+				p.Residue = ResidueEliminatedConsumer
+			case twinOf(g, i) >= 0:
+				p.Residue = ResidueTwinCarrier
+			}
+		}
+	}
+}
+
+// eliminatedConsumer reports whether the elimination ledger records a
+// removed instruction after defLine that mentioned reg — evidence the
+// definition had a consumer before redundancy elimination.
+func eliminatedConsumer(a *mutate.Analysis, removed map[int]bool, defLine int, reg string) bool {
+	for idx := range a.RegionPreElim {
+		ins := &a.RegionPreElim[idx]
+		if ins.Line > defLine && removed[ins.Line] && ins.UsesReg(reg) {
+			return true
+		}
+	}
+	return false
+}
+
+// twinOf returns the index of another step computing the same value as
+// step i — same opcode, identical input ports — or -1.
+func twinOf(g *Graph, i int) int {
+	for j := range g.Steps {
+		if j == i {
+			continue
+		}
+		if g.Steps[j].Instr.Op == g.Steps[i].Instr.Op &&
+			samePorts(g.Steps[j].Ins, g.Steps[i].Ins) {
+			return j
+		}
+	}
+	return -1
+}
+
+func samePorts(a, b []Port) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Reg != b[i].Reg ||
+			a[i].Addr != b[i].Addr || a[i].Lit != b[i].Lit ||
+			a[i].Tag != b[i].Tag {
+			return false
+		}
+	}
+	return true
 }
 
 // wireConditionCodes handles the paper's condition-code special case

@@ -58,32 +58,40 @@ func newTarget(name string) target.Toolchain {
 	panic("unknown arch " + name)
 }
 
-// cached full-discovery runs, one per architecture.
-var (
-	cacheMu sync.Mutex
-	cache   = map[string]*core.Discovery{}
-)
+// Suite owns the cached full-discovery runs (one per architecture) that
+// the experiments share. The cache is instance state, not package state:
+// concurrent suites — or a future service running many evaluations — must
+// not couple through a package-level map.
+type Suite struct {
+	mu    sync.Mutex
+	cache map[string]*core.Discovery
+}
+
+// NewSuite returns an empty experiment suite.
+func NewSuite() *Suite {
+	return &Suite{cache: map[string]*core.Discovery{}}
+}
 
 // Discovered returns (running once and caching) the full discovery result
 // for an architecture.
-func Discovered(arch string) (*core.Discovery, error) {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if d, ok := cache[arch]; ok {
+func (s *Suite) Discovered(arch string) (*core.Discovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.cache[arch]; ok {
 		return d, nil
 	}
 	d, err := core.Discover(newTarget(arch), core.Options{Seed: Seed})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", arch, err)
 	}
-	cache[arch] = d
+	s.cache[arch] = d
 	return d, nil
 }
 
 type experiment struct {
 	id    string
 	title string
-	run   func() (*Result, error)
+	run   func(*Suite) (*Result, error)
 }
 
 var registry = []experiment{
@@ -118,11 +126,11 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
-func Run(id string) (*Result, error) {
+// Run executes one experiment by ID against this suite's cache.
+func (s *Suite) Run(id string) (*Result, error) {
 	for _, e := range registry {
 		if e.id == id {
-			r, err := e.run()
+			r, err := e.run(s)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", id, err)
 			}
@@ -151,18 +159,18 @@ func (t *table) String() string { return t.sb.String() }
 
 // experiments -------------------------------------------------------------
 
-func e01() (*Result, error) {
+func e01(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %-28s %s", "arch", "a=b+c region", "")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
-		s := sampleByName(d, "int.add.b_c")
+		smp := sampleByName(d, "int.add.b_c")
 		var ops []string
-		for _, ins := range s.Region {
+		for _, ins := range smp.Region {
 			if ins.Op != "" {
 				ops = append(ops, ins.Op)
 			}
@@ -179,9 +187,9 @@ func e01() (*Result, error) {
 		}
 		metrics[arch+".extracted"] = float64(extracted)
 	}
-	d, _ := Discovered("vax")
-	s := sampleByName(d, "int.add.b_c")
-	t.rowf("\nThe VAX region is the paper's Fig. 3 single instruction: %s", s.Region[0].String())
+	d, _ := s.Discovered("vax")
+	smp := sampleByName(d, "int.add.b_c")
+	t.rowf("\nThe VAX region is the paper's Fig. 3 single instruction: %s", smp.Region[0].String())
 	return res(t.String(), metrics)
 }
 
@@ -194,12 +202,12 @@ func sampleByName(d *core.Discovery, name string) *discovery.Sample {
 	return nil
 }
 
-func e02() (*Result, error) {
+func e02(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %-8s %-7s %-5s %-22s %s", "arch", "comment", "litpfx", "regs", "clobber", "notable immediate range")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -221,18 +229,18 @@ func e02() (*Result, error) {
 			len(m.Registers), m.ClobberText, notable)
 		metrics[arch+".registers"] = float64(len(m.Registers))
 	}
-	d, _ := Discovered("sparc")
+	d, _ := s.Discovered("sparc")
 	r := d.Model.ImmRange["add:1"]
 	t.rowf("\nThe paper's §3.1 example: SPARC add immediates are restricted to [%d,%d].", r[0], r[1])
 	metrics["sparc.add_lo"], metrics["sparc.add_hi"] = float64(r[0]), float64(r[1])
 	return res(t.String(), metrics)
 }
 
-func e03() (*Result, error) {
+func e03(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	// 4(a,c): SPARC implicit call arguments and the delay-slot move.
-	d, err := Discovered("sparc")
+	d, err := s.Discovered("sparc")
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +255,7 @@ func e03() (*Result, error) {
 	metrics["sparc.call_reads"] = float64(len(groupsOf(a.Reads, callGroup(a))))
 	metrics["sparc.delay_slots"] = float64(slots)
 	// 4(b): x86 register reuse.
-	dx, err := Discovered("x86")
+	dx, err := s.Discovered("x86")
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +264,7 @@ func e03() (*Result, error) {
 	t.rowf("Fig. 4(b)   x86 a=P2(b,c): %%eax splits into %d live ranges", len(ranges))
 	metrics["x86.eax_ranges"] = float64(len(ranges))
 	// 4(d): Alpha redundant instruction.
-	da, err := Discovered("alpha")
+	da, err := s.Discovered("alpha")
 	if err != nil {
 		return nil, err
 	}
@@ -292,12 +300,12 @@ func groupsOf(m map[string][]int, g int) []string {
 	return out
 }
 
-func e04() (*Result, error) {
+func e04(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %-28s %s", "arch", "redundant instrs removed", "samples with removals")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -316,8 +324,8 @@ func e04() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e05() (*Result, error) {
-	d, err := Discovered("x86")
+func e05(s *Suite) (*Result, error) {
+	d, err := s.Discovered("x86")
 	if err != nil {
 		return nil, err
 	}
@@ -332,10 +340,10 @@ func e05() (*Result, error) {
 	return res(t.String(), map[string]float64{"ranges": float64(len(ranges))})
 }
 
-func e06() (*Result, error) {
+func e06(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
-	d, err := Discovered("x86")
+	d, err := s.Discovered("x86")
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +354,7 @@ func e06() (*Result, error) {
 			t.rowf("x86 %-6s reads %v defines %v", op, groupsOf(a.Reads, g), groupsOf(a.Defs, g))
 		}
 	}
-	ds, err := Discovered("sparc")
+	ds, err := s.Discovered("sparc")
 	if err != nil {
 		return nil, err
 	}
@@ -360,8 +368,8 @@ func e06() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e07() (*Result, error) {
-	d, err := Discovered("x86")
+func e07(s *Suite) (*Result, error) {
+	d, err := s.Discovered("x86")
 	if err != nil {
 		return nil, err
 	}
@@ -380,15 +388,15 @@ func e07() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e08() (*Result, error) {
+func e08(s *Suite) (*Result, error) {
 	var t table
-	dm, err := Discovered("mips")
+	dm, err := s.Discovered("mips")
 	if err != nil {
 		return nil, err
 	}
 	t.rowf("MIPS multiplication graph (Fig. 10 a-b):")
 	t.rowf("%s", dm.Graphs["int.mul.b_c"].Dump())
-	dx, err := Discovered("x86")
+	dx, err := s.Discovered("x86")
 	if err != nil {
 		return nil, err
 	}
@@ -400,12 +408,12 @@ func e08() (*Result, error) {
 	})
 }
 
-func e09() (*Result, error) {
+func e09(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %-9s %s", "arch", "matched", "example: P node of a=b*c")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -421,12 +429,12 @@ func e09() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e10() (*Result, error) {
+func e10(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %-7s %-7s %-9s %-10s %s", "arch", "solved", "failed", "by-match", "by-search", "candidates tried")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -442,11 +450,11 @@ func e10() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e11() (*Result, error) {
+func e11(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -464,8 +472,8 @@ func e11() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e12() (*Result, error) {
-	d, err := Discovered("sparc")
+func e12(s *Suite) (*Result, error) {
+	d, err := s.Discovered("sparc")
 	if err != nil {
 		return nil, err
 	}
@@ -479,7 +487,7 @@ func e12() (*Result, error) {
 	})
 }
 
-func e13() (*Result, error) {
+func e13(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	ops := []string{"Add", "Mul", "Div", "BranchEQ", "Const", "Move", "Call2"}
@@ -487,7 +495,7 @@ func e13() (*Result, error) {
 	for _, op := range ops {
 		row := fmt.Sprintf("%-9s", op)
 		for _, arch := range Archs {
-			d, err := Discovered(arch)
+			d, err := s.Discovered(arch)
 			if err != nil {
 				return nil, err
 			}
@@ -510,12 +518,12 @@ func e13() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e14() (*Result, error) {
+func e14(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %5s %5s %8s %7s %7s", "arch", "regs", "sems", "samples", "valid", "gaps")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -544,12 +552,12 @@ func e14() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e15() (*Result, error) {
+func e15(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %9s %9s %11s %11s %10s", "arch", "compiles", "assembles", "links", "executions", "mutations")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -564,10 +572,10 @@ func e15() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e16() (*Result, error) {
+func e16(s *Suite) (*Result, error) {
 	// Ablate likelihood components on x86: rebuild extraction over the
 	// same graphs with modified weights.
-	d, err := Discovered("x86")
+	d, err := s.Discovered("x86")
 	if err != nil {
 		return nil, err
 	}
@@ -604,7 +612,7 @@ func modWeights(f func(*extract.Weights)) extract.Weights {
 	return w
 }
 
-func e17() (*Result, error) {
+func e17(s *Suite) (*Result, error) {
 	var t table
 	// Tera: the Lexer fails gracefully on a Scheme-syntax assembler.
 	rig := discovery.NewRig(newTarget("tera"))
@@ -618,7 +626,7 @@ func e17() (*Result, error) {
 	}
 	t.rowf("Tera-style assembler: Bootstrap fails gracefully with:\n  %v", lexErr)
 	// VAX ashl: the extractor times out on conditional semantics.
-	d, err := Discovered("vax")
+	d, err := s.Discovered("vax")
 	if err != nil {
 		return nil, err
 	}
@@ -635,12 +643,12 @@ func e17() (*Result, error) {
 	return res(t.String(), map[string]float64{"vax.failed": float64(len(d.Outcome.Failed))})
 }
 
-func e18() (*Result, error) {
+func e18(s *Suite) (*Result, error) {
 	var t table
 	metrics := map[string]float64{}
 	t.rowf("%-6s %s", "arch", "hardwired registers discovered")
 	for _, arch := range Archs {
-		d, err := Discovered(arch)
+		d, err := s.Discovered(arch)
 		if err != nil {
 			return nil, err
 		}
@@ -658,9 +666,9 @@ func e18() (*Result, error) {
 	return res(t.String(), metrics)
 }
 
-func e19() (*Result, error) {
+func e19(s *Suite) (*Result, error) {
 	var t table
-	base, err := Discovered("vax")
+	base, err := s.Discovered("vax")
 	if err != nil {
 		return nil, err
 	}
@@ -692,9 +700,9 @@ func e19() (*Result, error) {
 	})
 }
 
-func e20() (*Result, error) {
+func e20(s *Suite) (*Result, error) {
 	var t table
-	base, err := Discovered("x86")
+	base, err := s.Discovered("x86")
 	if err != nil {
 		return nil, err
 	}

@@ -41,11 +41,10 @@ type Extractor struct {
 	Trace func(format string, args ...interface{})
 }
 
-// TraceHook, when set, is installed on extractors created by New (used by
-// debugging harnesses).
-var TraceHook func(format string, args ...interface{})
-
-// New creates an extractor with default settings.
+// New creates an extractor with default settings. A debugging harness
+// that wants search diagnostics sets Trace on the returned value — there
+// is deliberately no package-level hook: discoveries running concurrently
+// must not share mutable state.
 func New(bits int, w Weights, mboosts map[string]map[string]float64, stats *discovery.Stats) *Extractor {
 	return &Extractor{
 		Bits:    bits,
@@ -54,7 +53,6 @@ func New(bits int, w Weights, mboosts map[string]map[string]float64, stats *disc
 		Budget:  30000,
 		Stats:   stats,
 		Sems:    map[string]*sem.Sem{},
-		Trace:   TraceHook,
 	}
 }
 

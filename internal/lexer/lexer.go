@@ -8,6 +8,7 @@ package lexer
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"srcg/internal/discovery"
@@ -47,19 +48,24 @@ func ProbeSyntax(rig *discovery.Rig, m *discovery.Model, base, litAsm string) er
 	// Literal syntax: scan for 1235 in common bases with common prefixes
 	// (paper: compile main(){int a=1235;} and scan the assembly).
 	m.LitBases = map[int]string{}
-	reps := map[string]struct {
+	// Ordered, not a map: these drive LitBases/LitPrefix writes and
+	// assembler probes, so the scan and probe order must be fixed — with
+	// several accepted spellings of one base (0x4d3 vs 0X4D3) the first
+	// spelling tried is the prefix the MD records.
+	litReps := []struct {
+		rep    string
 		base   int
 		prefix string
 	}{
-		"1235":          {10, ""},
-		"0x4d3":         {16, "0x"},
-		"0x4D3":         {16, "0x"},
-		"0X4D3":         {16, "0X"},
-		"02323":         {8, "0"},
-		"0b10011010011": {2, "0b"},
+		{"1235", 10, ""},
+		{"0x4d3", 16, "0x"},
+		{"0x4D3", 16, "0x"},
+		{"0X4D3", 16, "0X"},
+		{"02323", 8, "0"},
+		{"0b10011010011", 2, "0b"},
 	}
-	for rep, info := range reps {
-		if containsToken(litAsm, rep) {
+	for _, info := range litReps {
+		if containsToken(litAsm, info.rep) {
 			m.LitBases[info.base] = info.prefix
 		}
 	}
@@ -71,11 +77,11 @@ func ProbeSyntax(rig *discovery.Rig, m *discovery.Model, base, litAsm string) er
 	for _, tok := range strings.FieldsFunc(litAsm, func(r rune) bool {
 		return r == ' ' || r == '\t' || r == ',' || r == '\n' || r == '(' || r == '[' || r == ']' || r == ')'
 	}) {
-		for rep := range reps {
-			if strings.HasSuffix(tok, rep) && len(tok) > len(rep) {
-				m.LitPrefix = tok[:len(tok)-len(rep)]
+		for _, info := range litReps {
+			if strings.HasSuffix(tok, info.rep) && len(tok) > len(info.rep) {
+				m.LitPrefix = tok[:len(tok)-len(info.rep)]
 			}
-			if tok == rep {
+			if tok == info.rep {
 				m.LitPrefix = ""
 			}
 		}
@@ -84,8 +90,8 @@ func ProbeSyntax(rig *discovery.Rig, m *discovery.Model, base, litAsm string) er
 	// spellings of 1235 into the literal-bearing line.
 	line, ok := findLineWithToken(litAsm, "1235", m.LitPrefix)
 	if ok {
-		for rep, info := range reps {
-			alt := strings.Replace(litAsm, line.orig, strings.Replace(line.orig, line.tok, m.LitPrefix+rep, 1), 1)
+		for _, info := range litReps {
+			alt := strings.Replace(litAsm, line.orig, strings.Replace(line.orig, line.tok, m.LitPrefix+info.rep, 1), 1)
 			if rig.Accepts(alt) {
 				if _, exists := m.LitBases[info.base]; !exists {
 					m.LitBases[info.base] = info.prefix
@@ -211,6 +217,7 @@ func Extract(m *discovery.Model, s *discovery.Sample) error {
 			}
 		}
 	}
+	sort.Strings(marks)
 	if len(marks) != 2 {
 		return fmt.Errorf("lexer: %s: found %d delimiting labels, want 2", s.Name, len(marks))
 	}

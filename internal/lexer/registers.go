@@ -54,7 +54,14 @@ func DiscoverRegisters(rig *discovery.Rig, m *discovery.Model, texts []string) e
 			family[stem] = true
 		}
 	}
+	// Probe stems in sorted order: verified() hits the assembler, and the
+	// probe sequence must be identical run to run.
+	stems := make([]string, 0, len(family))
 	for stem := range family {
+		stems = append(stems, stem)
+	}
+	sort.Strings(stems)
+	for _, stem := range stems {
 		for n := 0; n <= 31; n++ {
 			cand := fmt.Sprintf("%s%d", stem, n)
 			if m.RegSet[cand] {

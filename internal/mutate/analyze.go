@@ -2,6 +2,7 @@ package mutate
 
 import (
 	"fmt"
+	"sort"
 
 	"srcg/internal/discovery"
 )
@@ -507,7 +508,14 @@ pairs:
 		}
 		base := discovery.CloneInstrs(a.Region)
 		renamed := false
+		// Sorted: which register first triggers a rename (and the probe
+		// sequence SameOutput issues) must not follow map order.
+		liveRegs := make([]string, 0, len(a.Live))
 		for reg := range a.Live {
+			liveRegs = append(liveRegs, reg)
+		}
+		sort.Strings(liveRegs)
+		for _, reg := range liveRegs {
 			switch {
 			case defines(reg, g1) && (reads(reg, g2) || a.Region[i2[0]].UsesReg(reg)):
 				// Read-after-write: a visible value flows g1→g2; ordering

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"srcg/internal/dfg"
@@ -302,9 +303,17 @@ func matchTemplate(tmpl, actual []string, binds map[string]string) (map[string]s
 		return nil, 0, fmt.Errorf("template longer than input")
 	}
 	for i, tl := range tmpl {
-		// Pre-substitute known bindings so literals line up.
-		for k, v := range out {
-			tl = strings.ReplaceAll(tl, "{"+k+"}", v)
+		// Pre-substitute known bindings (in sorted order — a binding value
+		// containing a brace pair must not make the match depend on map
+		// iteration order) so literals line up. Recollected per line:
+		// matchLine adds bindings as lines match.
+		keys := make([]string, 0, len(out))
+		for k := range out {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			tl = strings.ReplaceAll(tl, "{"+k+"}", out[k])
 		}
 		if err := matchLine(tl, actual[i], out); err != nil {
 			return nil, 0, fmt.Errorf("line %d: %w", i, err)

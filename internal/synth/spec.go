@@ -27,12 +27,19 @@ type Template struct {
 	Instrs int
 }
 
-// Render substitutes placeholders.
+// Render substitutes placeholders. Keys are applied in sorted order so a
+// substitution value that itself contains a placeholder cannot make the
+// result depend on map iteration order.
 func (t *Template) Render(sub map[string]string) []string {
+	keys := make([]string, 0, len(sub))
+	for k := range sub {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	out := make([]string, 0, len(t.Lines))
 	for _, l := range t.Lines {
-		for k, v := range sub {
-			l = strings.ReplaceAll(l, "{"+k+"}", v)
+		for _, k := range keys {
+			l = strings.ReplaceAll(l, "{"+k+"}", sub[k])
 		}
 		out = append(out, l)
 	}

@@ -49,8 +49,15 @@ func Synthesize(in Input) (*Spec, error) {
 		Callees:  map[int]*CalleeModel{},
 	}
 
-	for op, name := range irOpSample {
-		t, err := in.opTemplate(name, op.String())
+	// Sorted iteration throughout: opTemplate and friends probe the
+	// toolchain, and the probe sequence must be identical run to run.
+	ops := make([]ir.Op, 0, len(irOpSample))
+	for op := range irOpSample {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		t, err := in.opTemplate(irOpSample[op], op.String())
 		if err != nil {
 			s.Gaps = append(s.Gaps, op.String())
 			continue
@@ -67,8 +74,13 @@ func Synthesize(in Input) (*Spec, error) {
 	} else {
 		s.Gaps = append(s.Gaps, "Const")
 	}
-	for rel, cRel := range negRel {
-		t, err := in.branchTemplate(cRel, "Branch"+rel.String())
+	rels := make([]ir.Rel, 0, len(negRel))
+	for rel := range negRel {
+		rels = append(rels, rel)
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
+	for _, rel := range rels {
+		t, err := in.branchTemplate(negRel[rel], "Branch"+rel.String())
 		if err != nil {
 			s.Gaps = append(s.Gaps, "Branch"+rel.String())
 			continue
@@ -80,7 +92,7 @@ func Synthesize(in Input) (*Spec, error) {
 	} else {
 		s.Gaps = append(s.Gaps, "Jump")
 	}
-	for n, name := range map[int]string{0: "int.call.none", 1: "int.call.b", 2: "int.call.b_c"} {
+	for n, name := range []string{"int.call.none", "int.call.b", "int.call.b_c"} {
 		t, err := in.callTemplate(name, n)
 		if err != nil {
 			s.Gaps = append(s.Gaps, fmt.Sprintf("Call%d", n))
@@ -305,7 +317,14 @@ func (in Input) jumpTemplate() (*Template, error) {
 	for op, n := range freq {
 		cands = append(cands, cand{op, n})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].n > cands[j].n })
+	// Tiebreak on the opcode name: equal counts must not leave the probe
+	// order to the map iteration above.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].op < cands[j].op
+	})
 
 	// The probe region: the conditional sample with its branch replaced.
 	branchIdx := -1
