@@ -1,0 +1,71 @@
+// Command benchdiff compares two bench-trajectory files (the
+// BENCH_discover.json format: recorded runs of BenchmarkDiscoverEndToEnd
+// with per-phase attribution) and reports per-target and per-phase
+// deltas, flagging regressions beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-run -1] old.json new.json
+//	benchdiff -self trajectory.json     # compare the last two runs of one file
+//
+// By default the last run of each file is compared. Exit status is 0
+// when nothing regressed, 1 on regression, 2 on usage or parse errors.
+// The threshold is a ratio margin: 0.10 flags anything >10% slower.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srcg/internal/obs"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "regression ratio margin (0.10 = flag >10% slower)")
+	self := flag.Bool("self", false, "compare the last two runs of a single trajectory file")
+	quiet := flag.Bool("quiet", false, "print only regressions")
+	flag.Parse()
+
+	var old, new obs.TrajectoryRun
+	switch {
+	case *self && flag.NArg() == 1:
+		t := load(flag.Arg(0))
+		if len(t.Runs) < 2 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s has %d run(s); -self needs two\n", flag.Arg(0), len(t.Runs))
+			os.Exit(2)
+		}
+		old, new = t.Runs[len(t.Runs)-2], t.Runs[len(t.Runs)-1]
+	case !*self && flag.NArg() == 2:
+		old, new = load(flag.Arg(0)).Last(), load(flag.Arg(1)).Last()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] old.json new.json | benchdiff -self trajectory.json")
+		os.Exit(2)
+	}
+
+	deltas := obs.DiffRuns(old, new, *threshold)
+	regressed := obs.Regressions(deltas)
+	if *quiet {
+		deltas = regressed
+	}
+	fmt.Print(obs.FormatDiff(deltas))
+	if len(regressed) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", len(regressed), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func load(path string) *obs.Trajectory {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	t, err := obs.ParseTrajectory(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return t
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	discover -arch sparc [-seed 1] [-full] [-beg] [-validate] [-faults 7:0.1]
+//	         [-trace run.jsonl [-traceformat chrome]]
 package main
 
 import (
@@ -14,34 +15,28 @@ import (
 	"os"
 
 	"srcg"
-	"srcg/internal/faulty"
+	"srcg/internal/cliflags"
 )
 
 func main() {
 	arch := flag.String("arch", "x86", "target architecture (x86, sparc, mips, alpha, vax)")
-	seed := flag.Int64("seed", 1, "random seed for sample generation and mutations")
-	full := flag.Bool("full", false, "generate the complete operand-shape sample set")
-	ash := flag.Bool("signedshifts", false, "enable the signed-count shift primitive (extension beyond the paper; resolves the VAX ashl limitation)")
 	beg := flag.Bool("beg", false, "print the synthesized BEG machine description")
 	validate := flag.Bool("validate", false, "compile and run the validation suite through the generated back end")
 	dot := flag.String("dot", "", "print the data-flow graph of the named sample (e.g. int.div.b_c) in Graphviz format")
-	faults := flag.String("faults", "", "inject transient toolchain faults and output noise: <seed>:<rate> (e.g. 7:0.1)")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	t, err := srcg.LookupTarget(*arch)
+	t, err := common.WrapTarget(*arch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *faults != "" {
-		cfg, err := faulty.ParseSpec(*faults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		t = faulty.New(t, cfg)
+	tr, closeTrace, err := common.OpenTrace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	d, err := srcg.Discover(t, srcg.Options{Seed: *seed, Full: *full, SignedShifts: *ash})
+	d, err := srcg.Discover(t, common.Options(tr))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "discovery failed: %v\n", err)
 		os.Exit(1)
@@ -72,5 +67,12 @@ func main() {
 			}
 			fmt.Printf("validate %-12s %s\n", r.Program, status)
 		}
+	}
+	if tr != nil {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", tr.Events(), common.TracePath)
 	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	srcgvet -target sparc [-seed 1] [-full] [-signedshifts] [-faults 7:0.1]
+//	        [-trace run.jsonl [-traceformat chrome]]
 package main
 
 import (
@@ -15,38 +16,39 @@ import (
 	"os"
 
 	"srcg"
-	"srcg/internal/faulty"
+	"srcg/internal/cliflags"
 )
 
 func main() {
 	targetName := flag.String("target", "x86", "target architecture (x86, sparc, mips, alpha, vax)")
-	seed := flag.Int64("seed", 1, "random seed for sample generation and mutations")
-	full := flag.Bool("full", false, "verify the complete operand-shape sample set")
-	ash := flag.Bool("signedshifts", false, "enable the signed-count shift primitive")
-	faults := flag.String("faults", "", "inject transient toolchain faults and output noise: <seed>:<rate> (e.g. 7:0.1)")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	t, err := srcg.LookupTarget(*targetName)
+	t, err := common.WrapTarget(*targetName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *faults != "" {
-		cfg, err := faulty.ParseSpec(*faults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		t = faulty.New(t, cfg)
+	tr, closeTrace, err := common.OpenTrace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	d, err := srcg.Discover(t, srcg.Options{
-		Seed: *seed, Full: *full, SignedShifts: *ash, Check: true,
-	})
+	opts := common.Options(tr)
+	opts.Check = true
+	d, err := srcg.Discover(t, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "srcgvet: discovery failed: %v\n", err)
 		os.Exit(1)
 	}
-	if *faults != "" {
+	if tr != nil {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "srcgvet: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "srcgvet: trace: %d events -> %s\n", tr.Events(), common.TracePath)
+	}
+	if common.Faults != "" {
 		fmt.Printf("srcgvet: probe: %s\n", d.ProbeStats)
 	}
 	rep := d.CheckReport

@@ -40,6 +40,7 @@ func (f Finding) String() string {
 var DiscoverySide = []string{
 	"gen", "lexer", "mutate", "dfg", "extract", "synth", "core",
 	"discovery", "sem", "enquire", "beg", "check", "probe", "faulty",
+	"obs",
 }
 
 // forbidden import paths for discovery-side code: the instruction-level

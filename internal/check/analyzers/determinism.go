@@ -35,9 +35,10 @@ import (
 // reachable only through the toolchain interface, and their determinism
 // is asserted end to end by the double-run discovery test.
 var DeterminismScope = []string{
-	"asm", "beg", "cc", "check", "check/analyzers", "core", "dfg",
-	"discovery", "enquire", "experiments", "extract", "faulty", "gen",
-	"ir", "lexer", "machine", "mutate", "probe", "sem", "synth",
+	"asm", "beg", "cc", "check", "check/analyzers", "cliflags", "core",
+	"dfg", "discovery", "enquire", "experiments", "extract", "faulty",
+	"gen", "ir", "lexer", "machine", "mutate", "obs", "probe", "sem",
+	"synth",
 }
 
 // Determinism bundles the five contract analyzers in reporting order.

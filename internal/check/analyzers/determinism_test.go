@@ -84,6 +84,50 @@ func TestDeterminismAnalyzersFire(t *testing.T) {
 	}
 }
 
+// TestWallclockBlessedSeam pins the obs.WallClock exemption from both
+// directions: inside package obs the WallClock methods and constructor
+// may read real time, any other function in obs is still flagged, and
+// the same declarations outside package obs earn no blessing.
+func TestWallclockBlessedSeam(t *testing.T) {
+	cases := []struct {
+		dir   string
+		wants []want
+	}{
+		{"obsclock", []want{
+			{14, "time.Now"},
+			{16, "time.Sleep"},
+		}},
+		{"obsclocknotobs", []want{
+			{9, "time.Now"},
+			{11, "time.Since"},
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			findings, err := Wallclock.Run(filepath.Join("testdata", "src", tc.dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range tc.wants {
+				if !hasFinding(findings, w) {
+					t.Errorf("no finding at line %d containing %q; got:\n%s",
+						w.line, w.substr, findingList(findings))
+				}
+			}
+			wantLines := map[int]bool{}
+			for _, w := range tc.wants {
+				wantLines[w.line] = true
+			}
+			for _, f := range findings {
+				if !wantLines[f.Pos.Line] {
+					t.Errorf("blessed seam flagged: %s", f)
+				}
+			}
+		})
+	}
+}
+
 func hasFinding(findings []Finding, w want) bool {
 	for _, f := range findings {
 		if f.Pos.Line == w.line && strings.Contains(f.Message, w.substr) {

@@ -18,14 +18,25 @@ import (
 // already guards its counters with one.
 var GoHygiene = &Analyzer{
 	Name: "gohygiene",
-	Doc: "forbid go statements and channel use outside internal/pool so " +
-		"concurrency lands through one audited seam",
+	Doc: "forbid go statements and channel use outside the audited " +
+		"concurrency seams so parallelism lands through one reviewed door",
 	Run: runGoHygiene,
 }
 
+// concurrencySeams are the only package directories allowed to own
+// goroutines and channels. internal/pool is the planned worker-pool seam
+// at probe.Prober. internal/obs is deliberately NOT a seam: the tracer
+// is mutex-guarded and its sinks run under the tracer's lock on the
+// caller's goroutine — telemetry must never introduce scheduling order
+// as a hidden input to discovery.
+var concurrencySeams = []string{"internal/pool"}
+
 func runGoHygiene(dir string) ([]Finding, error) {
-	if strings.HasSuffix(filepath.ToSlash(dir), "internal/pool") {
-		return nil, nil // the audited seam itself
+	slash := filepath.ToSlash(dir)
+	for _, seam := range concurrencySeams {
+		if strings.HasSuffix(slash, seam) {
+			return nil, nil // an audited seam itself
+		}
 	}
 	pkg, err := parsePkg(dir)
 	if err != nil {

@@ -1,0 +1,16 @@
+// Fixture for the blessed obs.WallClock seam: the WallClock methods and
+// constructor may read real time; everything else in the package — an
+// emitter stamping events on its own, a throttle — still fails.
+package obs
+
+import "time"
+
+type WallClock struct{ epoch time.Time }
+
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} } // blessed constructor
+
+func (w *WallClock) Now() time.Duration { return time.Since(w.epoch) } // blessed method
+
+func strayStamp() int64 { return time.Now().UnixNano() } // flagged: outside the seam
+
+func emitThrottled() { time.Sleep(time.Millisecond) } // flagged: emitters never sleep

@@ -1,0 +1,11 @@
+// Fixture proving the WallClock exemption is package-gated: an identical
+// WallClock shape outside package obs earns no blessing.
+package notobs
+
+import "time"
+
+type WallClock struct{ epoch time.Time }
+
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} } // flagged: wrong package
+
+func (w *WallClock) Now() time.Duration { return time.Since(w.epoch) } // flagged: wrong package

@@ -27,11 +27,39 @@ var wallclockDenied = map[string]string{
 // retries) varies between runs and between workers, so analysis code may
 // only use virtual time: durations computed from configuration and
 // accounted in Stats.
+//
+// One seam is blessed: obs.WallClock, the telemetry layer's injectable
+// wall-clock reader. Real time may enter the system only there, and only
+// at the edge (bench harness, CLI) via clock injection — so the
+// exemption covers exactly the WallClock methods and NewWallClock
+// constructor inside package obs. A stray time.Now anywhere else in obs
+// (an emitter stamping events on its own, say) still fails.
 var Wallclock = &Analyzer{
 	Name: "wallclock",
 	Doc: "forbid time.Now/time.Since and timers in analysis code; " +
-		"virtual time only (computed durations, never measured ones)",
+		"virtual time only, except the blessed obs.WallClock seam",
 	Run: runWallclock,
+}
+
+// isBlessedClockDecl reports whether fd is part of the one sanctioned
+// wall-clock seam: a method on obs.WallClock, or its constructor.
+func isBlessedClockDecl(pkgName string, fd *ast.FuncDecl) bool {
+	if pkgName != "obs" {
+		return false
+	}
+	if fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			t := fld.Type
+			if st, ok := t.(*ast.StarExpr); ok {
+				t = st.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == "WallClock" {
+				return true
+			}
+		}
+		return false
+	}
+	return fd.Name.Name == "NewWallClock"
 }
 
 func runWallclock(dir string) ([]Finding, error) {
@@ -45,7 +73,7 @@ func runWallclock(dir string) ([]Finding, error) {
 		if local == "" {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
+		check := func(n ast.Node) bool {
 			e, isExpr := n.(ast.Expr)
 			if !isExpr {
 				return true
@@ -62,10 +90,16 @@ func runWallclock(dir string) ([]Finding, error) {
 				Pos: pkg.fset.Position(n.Pos()),
 				Message: fmt.Sprintf("time.%s %s: analysis code must be "+
 					"bit-deterministic across runs and workers — use virtual "+
-					"time (computed durations) as internal/probe does", sel, why),
+					"time (computed durations) or inject an obs.Clock", sel, why),
 			})
 			return true
-		})
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && isBlessedClockDecl(f.Name.Name, fd) {
+				continue // the sanctioned obs.WallClock seam
+			}
+			ast.Inspect(decl, check)
+		}
 	}
 	return findings, nil
 }

@@ -1,0 +1,106 @@
+// Package cliflags hoists the flag wiring shared by the srcg command-line
+// tools (cmd/discover, cmd/srcgvet): the discovery options every tool
+// takes (-seed, -full, -signedshifts), fault injection (-faults), and the
+// telemetry tap (-trace, -traceformat). Each tool registers the shared
+// set once and keeps its own extras (-beg, -dot, …) beside it, so a new
+// knob lands in every tool by construction instead of by copy-paste.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srcg"
+	"srcg/internal/faulty"
+	"srcg/internal/obs"
+)
+
+// Common holds the flag values shared by every srcg tool.
+type Common struct {
+	Seed         int64
+	Full         bool
+	SignedShifts bool
+	Faults       string
+	TracePath    string
+	TraceFormat  string
+}
+
+// Register installs the shared flags on fs (pass flag.CommandLine from a
+// main) and returns the value struct they bind to.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", 1, "random seed for sample generation and mutations")
+	fs.BoolVar(&c.Full, "full", false, "use the complete operand-shape sample set")
+	fs.BoolVar(&c.SignedShifts, "signedshifts", false,
+		"enable the signed-count shift primitive (extension beyond the paper; resolves the VAX ashl limitation)")
+	fs.StringVar(&c.Faults, "faults", "",
+		"inject transient toolchain faults and output noise: <seed>:<rate> (e.g. 7:0.1)")
+	fs.StringVar(&c.TracePath, "trace", "",
+		"write a telemetry trace of the run to this file")
+	fs.StringVar(&c.TraceFormat, "traceformat", "jsonl",
+		"trace format: jsonl (one event per line) or chrome (Perfetto/chrome://tracing)")
+	return c
+}
+
+// WrapTarget resolves a simulated machine by name and, when -faults is
+// set, wraps it in the fault injector.
+func (c *Common) WrapTarget(name string) (srcg.Target, error) {
+	t, err := srcg.LookupTarget(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Faults != "" {
+		cfg, err := faulty.ParseSpec(c.Faults)
+		if err != nil {
+			return nil, err
+		}
+		t = faulty.New(t, cfg)
+	}
+	return t, nil
+}
+
+// Options assembles the discovery options the shared flags describe,
+// installing tr as the run's tracer.
+func (c *Common) Options(tr *obs.Tracer) srcg.Options {
+	return srcg.Options{
+		Seed:         c.Seed,
+		Full:         c.Full,
+		SignedShifts: c.SignedShifts,
+		Trace:        tr,
+	}
+}
+
+// OpenTrace opens the -trace sink. With -trace unset it returns a nil
+// tracer (valid: discovery creates a private one) and a no-op closer.
+// Otherwise the tracer runs on a virtual clock — the trace bytes are a
+// pure function of the run — and the closer flushes the final counter
+// and histogram events and closes the file.
+func (c *Common) OpenTrace() (*obs.Tracer, func() error, error) {
+	if c.TracePath == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(c.TracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sink obs.Sink
+	switch c.TraceFormat {
+	case "", "jsonl":
+		sink = obs.NewJSONLSink(f)
+	case "chrome":
+		sink = obs.NewChromeSink(f)
+	default:
+		f.Close()
+		return nil, nil, fmt.Errorf("cliflags: unknown -traceformat %q (want jsonl or chrome)", c.TraceFormat)
+	}
+	tr := obs.New(nil, sink)
+	closer := func() error {
+		if err := tr.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return tr, closer, nil
+}

@@ -17,6 +17,7 @@ import (
 	"srcg/internal/gen"
 	"srcg/internal/lexer"
 	"srcg/internal/mutate"
+	"srcg/internal/obs"
 	"srcg/internal/probe"
 	"srcg/internal/synth"
 	"srcg/internal/target"
@@ -53,7 +54,22 @@ type Options struct {
 	// its mutation analysis re-run with a fresh seed before the sample is
 	// dropped. Effective only with Check; 0 means DefaultCheckRetries.
 	CheckRetries int
+	// Trace receives the run's telemetry: phase spans, per-probe events,
+	// counters, histograms. Nil gets a private sink-less tracer on a
+	// virtual clock, so phase attribution and counters always exist. The
+	// tracer's clock is the pipeline's only time source — core code never
+	// reads a wall clock, so a virtual-clock trace is byte-identical
+	// across double runs.
+	Trace *obs.Tracer
 }
+
+// Counter names the core pipeline maintains on its tracer. The
+// resilience lines in Report() are views over these, the same way
+// probe.Stats views the probe.* counters.
+const (
+	CtrCheckRetries   = "core.check_retries"
+	CtrSamplesDropped = "core.samples_dropped"
+)
 
 // DefaultCheckRetries is the checker-gated retry budget when the caller
 // does not set one.
@@ -102,6 +118,10 @@ type Discovery struct {
 	// retry budget, with the diagnostic that condemned them. Dropped
 	// samples also appear in Skipped: discovery degrades, never aborts.
 	Dropped map[string]string
+	// Trace is the run's telemetry tracer (Options.Trace, or the private
+	// one Discover created). Report() renders its phase attribution;
+	// Validate() continues on it.
+	Trace *obs.Tracer
 }
 
 // Discover runs the full pipeline up to semantic extraction.
@@ -109,21 +129,36 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 	if opts.Weights == (extract.Weights{}) {
 		opts.Weights = extract.DefaultWeights
 	}
+	tr := opts.Trace
+	if tr == nil {
+		tr = obs.New(nil)
+	}
 	probeCfg := probe.DefaultConfig()
 	probeCfg.Retries = opts.ProbeRetries
 	probeCfg.QuorumN = opts.QuorumN
+	probeCfg.Trace = tr
 	rig := discovery.NewRigConfig(tc, probeCfg)
 	rnd := rand.New(rand.NewSource(opts.Seed))
-	samples, err := gen.Samples(gen.Config{Rand: rnd, Full: opts.Full})
-	if err != nil {
-		return nil, err
-	}
-	if opts.NoVariants {
-		for _, s := range samples {
-			s.Variants = nil
+
+	// Phase 1 — syntax discovery: generate the sample set and bootstrap
+	// the lexical model off the toolchain (the assembler-bisection span
+	// nests inside, around immediate-range discovery).
+	var samples []*discovery.Sample
+	var model *discovery.Model
+	err := tr.Phase(obs.PhaseLexerBootstrap, func() error {
+		var err error
+		samples, err = gen.Samples(gen.Config{Rand: rnd, Full: opts.Full})
+		if err != nil {
+			return err
 		}
-	}
-	model, err := lexer.Bootstrap(rig, samples)
+		if opts.NoVariants {
+			for _, s := range samples {
+				s.Variants = nil
+			}
+		}
+		model, err = lexer.Bootstrap(rig, samples)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -135,179 +170,206 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 		Graphs:   map[string]*dfg.Graph{},
 		Skipped:  map[string]string{},
 		Dropped:  map[string]string{},
+		Trace:    tr,
 	}
 
 	engine := mutate.New(rig, model, rand.New(rand.NewSource(opts.Seed+1)))
 	d.Engine = engine
-	for _, s := range samples {
-		if s.Kind == discovery.PStress {
-			continue // register-pressure sample: lexer-only
-		}
-		if s.Kind == discovery.PBinary && constantExpect(s) {
-			// A payload whose expected output never varies (b>>b is 0 for
-			// every representable b; a-a, a^a, a%a likewise) cannot
-			// distinguish value-dependent interpretations, and mutation
-			// analysis on it degenerates: with the result insensitive to
-			// the inputs, the operand loads test as "redundant" and the
-			// region collapses. The full §3 shape set contains a handful
-			// of these; they carry no semantic signal and are skipped.
-			d.Skipped[s.Name] = "expected output is valuation-invariant"
-			continue
-		}
-		a, err := engine.Analyze(s)
-		if err != nil {
-			d.Skipped[s.Name] = err.Error()
-			continue
-		}
-		d.Analyses[s.Name] = a
-	}
 
-	slots, err := d.findSlots()
-	if err != nil {
-		return nil, err
-	}
-	d.Slots = slots
-
-	// Locate each sample's output-cell writer (needed so only genuine
-	// stores get memory-output ports in the data-flow graphs).
-	if constA, ok := d.Analyses["int.const.34117"]; ok {
-		// Walk the sample list, not the map: FindMemWriter probes the
-		// toolchain, and the probe sequence must be identical run to run.
+	// Phase 2 — mutation analysis: per-sample analyses, slot binding,
+	// memory-writer and hardwired-register detection, and the data-flow
+	// graphs behind the checker gate.
+	err = tr.Phase(obs.PhaseMutationAnalysis, func() error {
 		for _, s := range samples {
-			if a, ok := d.Analyses[s.Name]; ok {
-				engine.FindMemWriter(a, constA.Region, 34117)
+			if s.Kind == discovery.PStress {
+				continue // register-pressure sample: lexer-only
 			}
-		}
-	}
-
-	// Hardwired-register detection (the paper's declared missing piece,
-	// §7.2, implemented here as an extension).
-	if a, ok := d.Analyses["int.move.b"]; ok {
-		model.Hardwired = engine.DetectHardwired(a)
-	}
-
-	checkRetries := opts.CheckRetries
-	if checkRetries <= 0 {
-		checkRetries = DefaultCheckRetries
-	}
-	for _, s := range samples {
-		a, ok := d.Analyses[s.Name]
-		if !ok {
-			continue
-		}
-		if a.AWriter < 0 {
-			// Nothing in the region observably writes the output cell:
-			// the payload is an identity (a = a & a) whose store mutation
-			// analysis legitimately eliminated. No semantic signal.
-			d.Skipped[s.Name] = "payload has no observable effect"
-			delete(d.Analyses, s.Name)
-			continue
-		}
-		g, err := dfg.Build(model, a, slots)
-		if err != nil {
-			d.Skipped[s.Name] = err.Error()
-			continue
-		}
-		// Checker-gated retries: a graph the static verifier condemns is
-		// evidence the machine lied to mutation analysis (noise that
-		// slipped past the quorum, a flaked probe). Rather than shipping a
-		// suspect graph — or aborting the run — the sample's analysis is
-		// re-run with a fresh seed; a sample still faulty after its budget
-		// is dropped with a diagnostic.
-		if opts.Check {
-			diags := check.VerifyGraph(model, a, g)
-			for retry := 1; countErrors(diags) > 0 && retry <= checkRetries; retry++ {
-				d.CheckRetried++
-				retryEngine := mutate.New(rig, model, rand.New(rand.NewSource(retrySeed(opts.Seed, s.Name, retry))))
-				a2, err := retryEngine.Analyze(s)
-				if err != nil {
-					continue
-				}
-				if constA, ok := d.Analyses["int.const.34117"]; ok {
-					retryEngine.FindMemWriter(a2, constA.Region, 34117)
-				}
-				if a2.AWriter < 0 {
-					continue
-				}
-				g2, err := dfg.Build(model, a2, slots)
-				if err != nil {
-					continue
-				}
-				if d2 := check.VerifyGraph(model, a2, g2); countErrors(d2) < countErrors(diags) {
-					a, g, diags = a2, g2, d2
-					d.Analyses[s.Name] = a2
-				}
-			}
-			if countErrors(diags) > 0 {
-				reason := fmt.Sprintf("dropped by checker gate after %d retries: %s",
-					checkRetries, diags[0].String())
-				d.Dropped[s.Name] = reason
-				d.Skipped[s.Name] = reason
-				delete(d.Analyses, s.Name)
+			if s.Kind == discovery.PBinary && constantExpect(s) {
+				// A payload whose expected output never varies (b>>b is 0 for
+				// every representable b; a-a, a^a, a%a likewise) cannot
+				// distinguish value-dependent interpretations, and mutation
+				// analysis on it degenerates: with the result insensitive to
+				// the inputs, the operand loads test as "redundant" and the
+				// region collapses. The full §3 shape set contains a handful
+				// of these; they carry no semantic signal and are skipped.
+				d.Skipped[s.Name] = "expected output is valuation-invariant"
 				continue
 			}
+			a, err := engine.Analyze(s)
+			if err != nil {
+				d.Skipped[s.Name] = err.Error()
+				continue
+			}
+			d.Analyses[s.Name] = a
 		}
-		d.Graphs[s.Name] = g
-	}
 
-	// Graph matching feeds the M component of the likelihood.
-	for _, s := range samples {
-		if g, ok := d.Graphs[s.Name]; ok {
-			if m := extract.Match(g); m != nil {
-				d.Matches = append(d.Matches, m)
+		slots, err := d.findSlots()
+		if err != nil {
+			return err
+		}
+		d.Slots = slots
+
+		// Locate each sample's output-cell writer (needed so only genuine
+		// stores get memory-output ports in the data-flow graphs).
+		if constA, ok := d.Analyses["int.const.34117"]; ok {
+			// Walk the sample list, not the map: FindMemWriter probes the
+			// toolchain, and the probe sequence must be identical run to run.
+			for _, s := range samples {
+				if a, ok := d.Analyses[s.Name]; ok {
+					engine.FindMemWriter(a, constA.Region, 34117)
+				}
 			}
 		}
-	}
 
-	d.Ext = extract.New(model.WordBits, opts.Weights, extract.MBoosts(d.Matches), &rig.Stats)
-	d.Ext.SignedShifts = opts.SignedShifts
-	if opts.Budget > 0 {
-		d.Ext.Budget = opts.Budget
-	}
-	d.Outcome = d.Ext.SolveAll(d.ExtractionGraphs())
+		// Hardwired-register detection (the paper's declared missing piece,
+		// §7.2, implemented here as an extension).
+		if a, ok := d.Analyses["int.move.b"]; ok {
+			model.Hardwired = engine.DetectHardwired(a)
+		}
 
-	// Synthesize the machine description (§6).
-	byName := map[string]*discovery.Sample{}
-	for _, s := range samples {
-		byName[s.Name] = s
-	}
-	solved := map[string]bool{}
-	for _, n := range d.Outcome.Solved {
-		solved[n] = true
-	}
-	spec, err := synth.Synthesize(synth.Input{
-		Rig:      rig,
-		Model:    model,
-		Engine:   engine,
-		Samples:  byName,
-		Analyses: d.Analyses,
-		Slots:    slots,
-		Solved:   solved,
-	})
-	if err != nil {
-		d.SpecErr = err
-	}
-	d.Spec = spec
-
-	if opts.Check {
-		rep := &check.Report{}
+		checkRetries := opts.CheckRetries
+		if checkRetries <= 0 {
+			checkRetries = DefaultCheckRetries
+		}
 		for _, s := range samples {
-			g, ok := d.Graphs[s.Name]
+			a, ok := d.Analyses[s.Name]
 			if !ok {
 				continue
 			}
-			rep.Add(check.VerifyGraph(model, d.Analyses[s.Name], g)...)
+			if a.AWriter < 0 {
+				// Nothing in the region observably writes the output cell:
+				// the payload is an identity (a = a & a) whose store mutation
+				// analysis legitimately eliminated. No semantic signal.
+				d.Skipped[s.Name] = "payload has no observable effect"
+				delete(d.Analyses, s.Name)
+				continue
+			}
+			g, err := dfg.Build(model, a, slots)
+			if err != nil {
+				d.Skipped[s.Name] = err.Error()
+				continue
+			}
+			// Checker-gated retries: a graph the static verifier condemns is
+			// evidence the machine lied to mutation analysis (noise that
+			// slipped past the quorum, a flaked probe). Rather than shipping a
+			// suspect graph — or aborting the run — the sample's analysis is
+			// re-run with a fresh seed; a sample still faulty after its budget
+			// is dropped with a diagnostic.
+			if opts.Check {
+				diags := check.VerifyGraph(model, a, g)
+				for retry := 1; countErrors(diags) > 0 && retry <= checkRetries; retry++ {
+					tr.Count(CtrCheckRetries, 1)
+					retryEngine := mutate.New(rig, model, rand.New(rand.NewSource(retrySeed(opts.Seed, s.Name, retry))))
+					a2, err := retryEngine.Analyze(s)
+					if err != nil {
+						continue
+					}
+					if constA, ok := d.Analyses["int.const.34117"]; ok {
+						retryEngine.FindMemWriter(a2, constA.Region, 34117)
+					}
+					if a2.AWriter < 0 {
+						continue
+					}
+					g2, err := dfg.Build(model, a2, slots)
+					if err != nil {
+						continue
+					}
+					if d2 := check.VerifyGraph(model, a2, g2); countErrors(d2) < countErrors(diags) {
+						a, g, diags = a2, g2, d2
+						d.Analyses[s.Name] = a2
+					}
+				}
+				if countErrors(diags) > 0 {
+					reason := fmt.Sprintf("dropped by checker gate after %d retries: %s",
+						checkRetries, diags[0].String())
+					d.Dropped[s.Name] = reason
+					d.Skipped[s.Name] = reason
+					delete(d.Analyses, s.Name)
+					tr.Count(CtrSamplesDropped, 1)
+					tr.DropEvent(s.Name, diags[0].String())
+					continue
+				}
+			}
+			d.Graphs[s.Name] = g
 		}
-		if spec != nil {
-			rep.Add(check.LintSpec(model, spec)...)
-			rep.Add(check.LintHiddenPairs(d.Analyses, spec)...)
-		}
-		for _, name := range sortedKeys(d.Dropped) {
-			rep.Add(check.Diagnostic{Code: check.CodeSampleDropped, Severity: check.Warning,
-				Sample: name, Step: -1, Message: d.Dropped[name]})
-		}
-		d.CheckReport = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	// Phase 3 — reverse interpretation: graph matching feeds the M
+	// component of the likelihood, then the extractor searches for each
+	// sample's semantics.
+	_ = tr.Phase(obs.PhaseReverseInterp, func() error {
+		for _, s := range samples {
+			if g, ok := d.Graphs[s.Name]; ok {
+				if m := extract.Match(g); m != nil {
+					d.Matches = append(d.Matches, m)
+				}
+			}
+		}
+
+		d.Ext = extract.New(model.WordBits, opts.Weights, extract.MBoosts(d.Matches), &rig.Stats)
+		d.Ext.Tr = tr
+		d.Ext.SignedShifts = opts.SignedShifts
+		if opts.Budget > 0 {
+			d.Ext.Budget = opts.Budget
+		}
+		d.Outcome = d.Ext.SolveAll(d.ExtractionGraphs())
+		return nil
+	})
+
+	// Phase 4 — machine-description synthesis (§6) plus the final static
+	// verification report.
+	_ = tr.Phase(obs.PhaseSynthesis, func() error {
+		byName := map[string]*discovery.Sample{}
+		for _, s := range samples {
+			byName[s.Name] = s
+		}
+		solved := map[string]bool{}
+		for _, n := range d.Outcome.Solved {
+			solved[n] = true
+		}
+		spec, err := synth.Synthesize(synth.Input{
+			Rig:      rig,
+			Model:    model,
+			Engine:   engine,
+			Samples:  byName,
+			Analyses: d.Analyses,
+			Slots:    d.Slots,
+			Solved:   solved,
+		})
+		if err != nil {
+			d.SpecErr = err
+		}
+		d.Spec = spec
+
+		if opts.Check {
+			rep := &check.Report{}
+			for _, s := range samples {
+				g, ok := d.Graphs[s.Name]
+				if !ok {
+					continue
+				}
+				rep.Add(check.VerifyGraph(model, d.Analyses[s.Name], g)...)
+			}
+			if spec != nil {
+				rep.Add(check.LintSpec(model, spec)...)
+				rep.Add(check.LintHiddenPairs(d.Analyses, spec)...)
+			}
+			for _, name := range sortedKeys(d.Dropped) {
+				rep.Add(check.Diagnostic{Code: check.CodeSampleDropped, Severity: check.Warning,
+					Sample: name, Step: -1, Message: d.Dropped[name]})
+			}
+			d.CheckReport = rep
+		}
+		return nil
+	})
+
+	// The resilience fields are views over the tracer's counters — one
+	// source of truth shared with the trace stream and Report().
+	d.CheckRetried = int(tr.Counter(CtrCheckRetries))
 	d.ProbeStats = rig.ProbeStats()
 	return d, nil
 }
@@ -446,9 +508,18 @@ func (d *Discovery) Report() string {
 	}
 	fmt.Fprintf(&sb, "cost: %s\n", d.Rig.Stats)
 	fmt.Fprintf(&sb, "probe: %s\n", d.ProbeStats)
-	if d.CheckRetried > 0 || len(d.Dropped) > 0 {
-		fmt.Fprintf(&sb, "resilience: check_retries=%d samples_dropped=%d\n",
-			d.CheckRetried, len(d.Dropped))
+	// Resilience numbers come from the tracer's counters — the same
+	// source the trace stream reports — falling back to the snapshot
+	// fields for hand-built Discovery values without a tracer.
+	cr, sd := d.Trace.Counter(CtrCheckRetries), d.Trace.Counter(CtrSamplesDropped)
+	if d.Trace == nil {
+		cr, sd = int64(d.CheckRetried), int64(len(d.Dropped))
+	}
+	if cr > 0 || sd > 0 {
+		fmt.Fprintf(&sb, "resilience: check_retries=%d samples_dropped=%d\n", cr, sd)
+	}
+	if t := obs.FormatPhaseTable(d.Trace.PhaseSummary()); t != "" {
+		sb.WriteString(t)
 	}
 	return sb.String()
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"strconv"
 	"testing"
+
+	"srcg/internal/obs"
 )
 
 // TestDoubleRunDiscoveryByteIdentical is the determinism contract's
@@ -22,14 +25,32 @@ func TestDoubleRunDiscoveryByteIdentical(t *testing.T) {
 		tt := tt
 		t.Run(tt.arch, func(t *testing.T) {
 			t.Parallel()
-			opts := Options{Seed: 1, Check: true}
-			d1, err := Discover(tt.ctor(), opts)
+			// Each run gets its own virtual-clock tracer with a JSONL
+			// sink: the full telemetry stream — timestamps included —
+			// must be byte-identical between identical runs.
+			var trace1, trace2 bytes.Buffer
+			tr1 := obs.New(nil, obs.NewJSONLSink(&trace1))
+			tr2 := obs.New(nil, obs.NewJSONLSink(&trace2))
+			d1, err := Discover(tt.ctor(), Options{Seed: 1, Check: true, Trace: tr1})
 			if err != nil {
 				t.Fatalf("first discovery failed: %v", err)
 			}
-			d2, err := Discover(tt.ctor(), opts)
+			d2, err := Discover(tt.ctor(), Options{Seed: 1, Check: true, Trace: tr2})
 			if err != nil {
 				t.Fatalf("second discovery failed: %v", err)
+			}
+			if err := tr1.Flush(); err != nil {
+				t.Fatalf("flush run1 trace: %v", err)
+			}
+			if err := tr2.Flush(); err != nil {
+				t.Fatalf("flush run2 trace: %v", err)
+			}
+			if !bytes.Equal(trace1.Bytes(), trace2.Bytes()) {
+				t.Errorf("JSONL traces differ between identical runs:\n%s",
+					firstDiffLine(trace1.String(), trace2.String()))
+			}
+			if trace1.Len() == 0 {
+				t.Error("trace is empty — the pipeline emitted no telemetry")
 			}
 			r1, r2 := d1.Report(), d2.Report()
 			if r1 != r2 {

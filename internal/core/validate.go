@@ -7,6 +7,7 @@ import (
 	"srcg/internal/beg"
 	"srcg/internal/cc"
 	"srcg/internal/ir"
+	"srcg/internal/obs"
 	"srcg/internal/probe"
 	"srcg/internal/target"
 )
@@ -60,7 +61,21 @@ func (d *Discovery) Validate(tc target.Toolchain, progs []Program) []ValidationR
 	backend := beg.New(d.Spec)
 	// Validation drives the toolchain through the same resilient probe
 	// layer as discovery: transient faults retry, noisy runs go to quorum.
-	pr := probe.New(tc, probe.DefaultConfig())
+	// It shares the discovery run's tracer (its own prober, though — the
+	// noisy latch must not leak between toolchains), so validation probes
+	// land in the same trace under their own phase span.
+	cfg := probe.DefaultConfig()
+	cfg.Trace = d.Trace
+	pr := probe.New(tc, cfg)
+	_ = d.Trace.Phase(obs.PhaseValidation, func() error {
+		out = d.validate(pr, backend, progs)
+		return nil
+	})
+	return out
+}
+
+func (d *Discovery) validate(pr *probe.Prober, backend *beg.Backend, progs []Program) []ValidationResult {
+	out := make([]ValidationResult, 0, len(progs))
 	for _, p := range progs {
 		r := ValidationResult{Program: p.Name}
 		unit, err := cc.CompileUnit(p.Source)

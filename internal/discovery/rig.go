@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"srcg/internal/asm"
+	"srcg/internal/obs"
 	"srcg/internal/probe"
 	"srcg/internal/target"
 )
@@ -28,6 +29,11 @@ func NewRigConfig(tc target.Toolchain, cfg probe.Config) *Rig {
 
 // ProbeStats snapshots the probe layer's resilience counters.
 func (r *Rig) ProbeStats() probe.Stats { return r.P.Stats() }
+
+// Trace returns the telemetry tracer the probe layer reports to; every
+// pipeline stage above the Rig hangs its spans and counters off the same
+// tracer, so one trace covers the whole run.
+func (r *Rig) Trace() *obs.Tracer { return r.P.Tracer() }
 
 // CompileAsm runs the target C compiler on one translation unit.
 func (r *Rig) CompileAsm(src string) (string, error) {

@@ -7,7 +7,17 @@ import (
 
 	"srcg/internal/dfg"
 	"srcg/internal/discovery"
+	"srcg/internal/obs"
 	"srcg/internal/sem"
+)
+
+// Telemetry names the extractor maintains on its tracer.
+const (
+	// CtrCandidatesTried counts reverse-interpretation candidates run.
+	CtrCandidatesTried = "extract.candidates_tried"
+	// HistCandidatesPerSolve is the histogram of candidates one solve
+	// attempt consumed — the shape of the paper's search-cost story.
+	HistCandidatesPerSolve = "extract.candidates_per_solve"
 )
 
 // Extractor runs the reverse interpretation search (§5.2.1–5.2.2): a
@@ -39,6 +49,10 @@ type Extractor struct {
 
 	// Trace, when non-nil, receives search diagnostics.
 	Trace func(format string, args ...interface{})
+
+	// Tr, when non-nil, receives telemetry: the candidates-tried counter
+	// and the per-solve candidate-cost histogram. A nil tracer is a no-op.
+	Tr *obs.Tracer
 }
 
 // New creates an extractor with default settings. A debugging harness
@@ -80,7 +94,12 @@ func (x *Extractor) SolveAll(graphs []*dfg.Graph) Outcome {
 		progress := false
 		var next []*dfg.Graph
 		for _, g := range remaining {
-			switch x.solve(g) {
+			before := x.Tr.Counter(CtrCandidatesTried)
+			verdict := x.solve(g)
+			if x.Tr != nil {
+				x.Tr.Observe(HistCandidatesPerSolve, x.Tr.Counter(CtrCandidatesTried)-before)
+			}
+			switch verdict {
 			case solveOK:
 				out.Solved = append(out.Solved, g.Sample.Name)
 				x.solved = append(x.solved, g)
@@ -286,6 +305,7 @@ func (x *Extractor) search(g *dfg.Graph, needs []need, fresh bool) solveResult {
 		if x.Stats != nil {
 			x.Stats.CandidatesTried++
 		}
+		x.Tr.Count(CtrCandidatesTried, 1)
 		trial := x.overlay(needs, lists, c.idx)
 		if x.Trace != nil && x.Budget-budget <= 8 {
 			ok, err := Run(g, trial, x.Bits)

@@ -5,6 +5,7 @@ import (
 
 	"srcg/internal/discovery"
 	"srcg/internal/enquire"
+	"srcg/internal/obs"
 )
 
 // Bootstrap runs the complete syntax-discovery phase: it probes the
@@ -56,7 +57,13 @@ func Bootstrap(rig *discovery.Rig, samples []*discovery.Sample) (*discovery.Mode
 	if err := DiscoverClobber(rig, m, samples); err != nil {
 		return nil, err
 	}
-	DiscoverImmRanges(rig, m, texts)
+	// Immediate-range discovery is the assembler-bisection workload —
+	// pure accept/reject probing against the assembler — so it gets its
+	// own span nested inside the bootstrap phase.
+	_ = rig.Trace().Phase(obs.PhaseAssemblerBisection, func() error {
+		DiscoverImmRanges(rig, m, texts)
+		return nil
+	})
 	DiscoverModes(m, samples)
 
 	bits, err := enquire.WordBits(rig)

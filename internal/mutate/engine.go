@@ -19,6 +19,14 @@ import (
 	"srcg/internal/discovery"
 )
 
+// Telemetry names the mutation engine maintains on the rig's tracer: the
+// mutation cache's hit/miss split, the denominator of the probe-savings
+// story (a hit is a toolchain round-trip never made).
+const (
+	CtrCacheHits   = "mutate.cache_hits"
+	CtrCacheMisses = "mutate.cache_misses"
+)
+
 // Engine runs mutated samples against the target and caches results.
 type Engine struct {
 	Rig   *discovery.Rig
@@ -82,8 +90,10 @@ func (e *Engine) SameOutputVal(s *discovery.Sample, region []discovery.Instr, va
 	h.Write([]byte(text))
 	key := h.Sum64()
 	if cached, ok := e.cache[key]; ok {
+		e.Rig.Trace().Count(CtrCacheHits, 1)
 		return cached
 	}
+	e.Rig.Trace().Count(CtrCacheMisses, 1)
 	e.Rig.Stats.Mutations++
 	same := func() bool {
 		u, err := e.Rig.Assemble(text)

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ChromeSink streams the trace in Chrome trace-event format (the JSON
+// array flavor), loadable in Perfetto / chrome://tracing for flame-style
+// inspection: phase spans become B/E duration events, probe-level events
+// become instants with args, and Flush appends final counter values as C
+// events. Timestamps are the tracer clock's nanoseconds rendered as
+// microseconds, so a VirtualClock yields a deterministic file here too.
+type ChromeSink struct {
+	w     *bufio.Writer
+	buf   []byte
+	first bool
+	err   error
+}
+
+// NewChromeSink writes trace-event JSON to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: bufio.NewWriter(w), first: true}
+}
+
+// Emit converts and writes one event. Errors latch; Flush reports them.
+func (s *ChromeSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	if s.first {
+		b = append(b, "[\n"...)
+		s.first = false
+	} else {
+		b = append(b, ",\n"...)
+	}
+	b = append(b, `{"pid":1,"tid":1,"ts":`...)
+	b = appendMicros(b, int64(e.T))
+	switch e.Kind {
+	case KSpanBegin:
+		b = append(b, `,"ph":"B","cat":"phase","name":`...)
+		b = appendQuoted(b, e.Name)
+	case KSpanEnd:
+		b = append(b, `,"ph":"E","cat":"phase","name":`...)
+		b = appendQuoted(b, e.Name)
+	case KCounter:
+		b = append(b, `,"ph":"C","name":`...)
+		b = appendQuoted(b, e.Name)
+		b = append(b, `,"args":{"value":`...)
+		b = strconv.AppendInt(b, e.N, 10)
+		b = append(b, `}`...)
+	default: // probe, retry, quorum, drop, hist → instant events with args
+		b = append(b, `,"ph":"i","s":"t","cat":`...)
+		b = appendQuoted(b, e.Kind.String())
+		b = append(b, `,"name":`...)
+		b = appendQuoted(b, e.Name)
+		b = append(b, `,"args":{`...)
+		sep := false
+		if e.Kind.hasN() {
+			b = append(b, `"n":`...)
+			b = strconv.AppendInt(b, e.N, 10)
+			sep = true
+		}
+		if e.Kind.hasDur() {
+			if sep {
+				b = append(b, ',')
+			}
+			b = append(b, `"dur_ns":`...)
+			b = strconv.AppendInt(b, int64(e.Dur), 10)
+			sep = true
+		}
+		if e.Kind.hasDetail() {
+			if sep {
+				b = append(b, ',')
+			}
+			b = append(b, `"detail":`...)
+			b = appendQuoted(b, e.Detail)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Flush closes the JSON array and drains the writer.
+func (s *ChromeSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.first {
+		s.first = false
+		if _, err := s.w.WriteString("["); err != nil {
+			return err
+		}
+	}
+	if _, err := s.w.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// appendMicros renders a nanosecond count as decimal microseconds with
+// three fractional digits — the trace-event ts unit — without going
+// through floating point, keeping the bytes exact.
+func appendMicros(b []byte, v int64) []byte {
+	b = strconv.AppendInt(b, v/1000, 10)
+	frac := v % 1000
+	if frac < 0 {
+		frac = -frac
+	}
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+(frac/10)%10), byte('0'+frac%10))
+	return b
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the event taxonomy. Every event in a trace is one of
+// these; the Schema table states which fields each kind carries, and the
+// schema-validation test holds every emitted line to it.
+type Kind uint8
+
+const (
+	// KSpanBegin opens a phase span. Name is the phase; Phase is the
+	// enclosing span ("" at top level).
+	KSpanBegin Kind = iota
+	// KSpanEnd closes the innermost span. Name is the phase; Dur is the
+	// span's inclusive duration.
+	KSpanEnd
+	// KProbe records one physical toolchain call at the probe.Prober
+	// choke point. Name is the op (compile, assemble, link, execute),
+	// Detail its outcome (ok, transient, permanent), Dur its duration.
+	KProbe
+	// KRetry records a re-attempt after a transient fault. Name is the
+	// op, N the 1-based retry index, Dur the scheduled backoff.
+	KRetry
+	// KQuorum records an output-quorum escalation: two runs of one
+	// program disagreed, raising the agreement bar. N is the run count
+	// at escalation.
+	KQuorum
+	// KDrop records a sample abandoned by the checker gate (SA015).
+	// Name is the sample, Detail the condemning diagnostic.
+	KDrop
+	// KCounter is a final counter value, emitted once per counter on
+	// Flush in sorted name order. N is the value.
+	KCounter
+	// KHist is a final histogram snapshot, emitted on Flush. N is the
+	// observation count, Dur the sum, Detail the non-empty power-of-two
+	// buckets.
+	KHist
+	kindCount // sentinel
+)
+
+var kindNames = [kindCount]string{
+	KSpanBegin: "span_begin",
+	KSpanEnd:   "span_end",
+	KProbe:     "probe",
+	KRetry:     "retry",
+	KQuorum:    "quorum",
+	KDrop:      "drop",
+	KCounter:   "counter",
+	KHist:      "hist",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one telemetry record. Field usage varies by Kind (see the
+// Kind constants and Schema); unused fields are omitted from the JSONL
+// encoding so every line is minimal and deterministic.
+type Event struct {
+	T      time.Duration // virtual timestamp (ns since trace epoch)
+	Kind   Kind
+	Name   string        // phase, op, sample, counter, or histogram name
+	Phase  string        // innermost enclosing phase at emit time
+	N      int64         // retry index, quorum runs, counter value, hist count
+	Dur    time.Duration // span/probe duration, backoff, hist sum
+	Detail string        // probe outcome, drop reason, hist buckets
+}
+
+// FieldSchema states which JSONL fields one event kind carries.
+type FieldSchema struct {
+	Required []string
+	Optional []string
+}
+
+// Schema is the event taxonomy's field contract, keyed by Kind string.
+// The trace tests validate every emitted line against it: required
+// fields must be present, and no field outside required+optional may
+// appear.
+var Schema = map[string]FieldSchema{
+	"span_begin": {Required: []string{"t", "kind", "name"}, Optional: []string{"phase"}},
+	"span_end":   {Required: []string{"t", "kind", "name", "dur"}},
+	"probe":      {Required: []string{"t", "kind", "name", "dur", "detail"}, Optional: []string{"phase"}},
+	"retry":      {Required: []string{"t", "kind", "name", "n", "dur"}, Optional: []string{"phase"}},
+	"quorum":     {Required: []string{"t", "kind", "name", "n"}, Optional: []string{"phase"}},
+	"drop":       {Required: []string{"t", "kind", "name", "detail"}, Optional: []string{"phase"}},
+	"counter":    {Required: []string{"t", "kind", "name", "n"}},
+	"hist":       {Required: []string{"t", "kind", "name", "n", "dur", "detail"}},
+}
+
+// hasN / hasDur / hasDetail: which kinds encode which optional-looking
+// fields. Values of 0 / "" are still emitted for these kinds — presence
+// is a function of the kind alone, so the schema stays checkable.
+func (k Kind) hasN() bool      { return k == KRetry || k == KQuorum || k == KCounter || k == KHist }
+func (k Kind) hasDur() bool    { return k == KSpanEnd || k == KProbe || k == KRetry || k == KHist }
+func (k Kind) hasDetail() bool { return k == KProbe || k == KDrop || k == KHist }
+func (k Kind) hasPhase() bool {
+	return k == KSpanBegin || k == KProbe || k == KRetry || k == KQuorum || k == KDrop
+}
+
+// AppendJSONL appends the event's one-line JSON encoding (no trailing
+// newline) to buf and returns the extended slice. The field order is
+// fixed (t, kind, name, phase, n, dur, detail) and the encoding is
+// hand-rolled so the byte stream is identical across Go versions and
+// allocation stays in the caller's reused buffer.
+func (e Event) AppendJSONL(buf []byte) []byte {
+	buf = append(buf, `{"t":`...)
+	buf = strconv.AppendInt(buf, int64(e.T), 10)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, `","name":`...)
+	buf = appendQuoted(buf, e.Name)
+	if e.Kind.hasPhase() && e.Phase != "" {
+		buf = append(buf, `,"phase":`...)
+		buf = appendQuoted(buf, e.Phase)
+	}
+	if e.Kind.hasN() {
+		buf = append(buf, `,"n":`...)
+		buf = strconv.AppendInt(buf, e.N, 10)
+	}
+	if e.Kind.hasDur() {
+		buf = append(buf, `,"dur":`...)
+		buf = strconv.AppendInt(buf, int64(e.Dur), 10)
+	}
+	if e.Kind.hasDetail() {
+		buf = append(buf, `,"detail":`...)
+		buf = appendQuoted(buf, e.Detail)
+	}
+	return append(buf, '}')
+}
+
+// appendQuoted appends s as a JSON string literal. Only the escapes JSON
+// requires are applied (quote, backslash, control characters); the rest
+// of the byte stream passes through untouched so the encoding is a pure
+// function of the input.
+func appendQuoted(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			buf = append(buf, '\\', '"')
+		case c == '\\':
+			buf = append(buf, '\\', '\\')
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}

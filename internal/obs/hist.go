@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strconv"
+)
+
+// histBuckets is the bucket count: value v lands in bucket bits.Len(v),
+// i.e. power-of-two buckets, with bucket 0 holding zero/negative values.
+const histBuckets = 64
+
+// Hist is an allocation-free power-of-two histogram over int64 values —
+// durations in nanoseconds, candidate counts, whatever a call site
+// observes. It is owned and locked by the Tracer.
+type Hist struct {
+	count   int64
+	sum     int64
+	buckets [histBuckets]int64
+}
+
+func (h *Hist) observe(v int64) {
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		b++
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketLow returns the inclusive lower bound of bucket b (0 for b==0).
+func BucketLow(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return int64(1) << uint(b-1)
+}
+
+// HistStat is a histogram snapshot for summaries and Flush events.
+type HistStat struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// bucketString renders the non-empty buckets compactly, lowest first:
+// "0:3 1024:17 2048:4" — each key is the bucket's inclusive lower bound.
+func (h HistStat) bucketString() string {
+	var buf []byte
+	for b := 0; b < histBuckets; b++ {
+		if h.Buckets[b] == 0 {
+			continue
+		}
+		if len(buf) > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = strconv.AppendInt(buf, BucketLow(b), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, h.Buckets[b], 10)
+	}
+	return string(buf)
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+)
+
+// JSONLSink streams the trace as one JSON object per line — the `-trace
+// out.jsonl` format. The encoding is hand-rolled with a fixed field
+// order (see Event.AppendJSONL), so under a VirtualClock the whole file
+// is byte-identical across double runs. The sink reuses one buffer per
+// event; the Tracer serializes Emit calls.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink writes JSONL events to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one event line. Write errors are latched and surfaced by
+// Flush — telemetry must never make the pipeline fail mid-run.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = e.AppendJSONL(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffered writer and reports any latched error.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

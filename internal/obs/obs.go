@@ -1,0 +1,99 @@
+// Package obs is the discovery unit's telemetry layer: a deterministic,
+// allocation-light tracer threaded through the whole pipeline.
+//
+// A discovery run makes thousands of toolchain calls (2.3k–17.9k per
+// target, EXPERIMENTS E15) yet used to be observable only as one opaque
+// ns/op number. The Tracer records where that work goes: phase spans
+// (lexer bootstrap, assembler bisection, mutation analysis, reverse
+// interpretation, MD synthesis, validation), per-probe events at the
+// probe.Prober choke point (compile/assemble/link/execute attempts,
+// transient-fault retries, quorum escalations, SA015 sample drops),
+// plus named counters and value histograms.
+//
+// Determinism contract (DESIGN §8/§9): all timing flows through an
+// injected Clock. The core pipeline always runs against a VirtualClock —
+// a pure counter that ticks on every read and absorbs accounted
+// durations (probe backoff) — so the event stream is a pure function of
+// (target, Options) and byte-identical across double runs. Real time is
+// attached only at the edges: the benchmark harness injects a WallClock
+// to attribute real nanoseconds to phases, and the CLIs print wall-clock
+// totals to stderr without ever letting them into the stream. WallClock
+// is the one blessed wall-clock reader in the analysis tree; the
+// wallclock analyzer enforces that nothing else — including the emitters
+// in this package — touches the machine clock.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the telemetry time source: a virtual timestamp measured from
+// the clock's epoch. Implementations may advance on every read (the
+// deterministic VirtualClock) or read the machine clock (WallClock, edge
+// use only).
+type Clock interface {
+	Now() time.Duration
+}
+
+// advancer is the optional Clock extension that absorbs accounted
+// durations: virtual time the pipeline scheduled (probe backoff) without
+// actually sleeping.
+type advancer interface {
+	Advance(time.Duration)
+}
+
+// VirtualClock is the deterministic default clock: every Now call
+// advances time by one tick, and Advance absorbs scheduled durations.
+// The resulting timeline is a pure function of the call sequence, so two
+// identical discovery runs produce byte-identical event streams.
+type VirtualClock struct {
+	mu   sync.Mutex
+	now  time.Duration
+	tick time.Duration
+}
+
+// NewVirtualClock returns a virtual clock ticking one microsecond per
+// read — coarse enough to keep timestamps readable, fine enough that
+// every event gets a distinct time.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{tick: time.Microsecond}
+}
+
+// Now advances the clock by one tick and returns the new timestamp.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	c.now += c.tick
+	n := c.now
+	c.mu.Unlock()
+	return n
+}
+
+// Advance absorbs a scheduled (virtual) duration, e.g. probe backoff.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// WallClock reads the machine clock, as a duration since construction.
+// It exists for the edges only — the benchmark harness injects it to
+// attribute real nanoseconds to phases — and it is the single blessed
+// wall-clock reader in the analysis tree: the wallclock analyzer permits
+// time.Now here and nowhere else.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a wall clock whose epoch is now.
+func NewWallClock() *WallClock {
+	return &WallClock{epoch: time.Now()}
+}
+
+// Now returns the real time elapsed since the clock's epoch.
+func (c *WallClock) Now() time.Duration {
+	return time.Since(c.epoch)
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestVirtualClockTicksAndAdvances pins the virtual-time contract: every
+// Now() read advances one tick, and Advance absorbs accounted durations.
+func TestVirtualClockTicksAndAdvances(t *testing.T) {
+	c := NewVirtualClock()
+	t1, t2 := c.Now(), c.Now()
+	if t2-t1 != time.Microsecond {
+		t.Errorf("tick = %v, want 1µs", t2-t1)
+	}
+	c.Advance(3 * time.Millisecond)
+	if t3 := c.Now(); t3-t2 != 3*time.Millisecond+time.Microsecond {
+		t.Errorf("after Advance(3ms), delta = %v", t3-t2)
+	}
+}
+
+// TestNilTracerIsValid exercises every method on a nil *Tracer: the
+// pipeline must be able to run untraced with zero ceremony.
+func TestNilTracerIsValid(t *testing.T) {
+	var tr *Tracer
+	if err := tr.Phase("p", func() error { return nil }); err != nil {
+		t.Errorf("nil Phase: %v", err)
+	}
+	tr.ProbeEvent("compile", OutcomeOK, 0)
+	tr.RetryEvent("compile", 1, 0)
+	tr.QuorumEscalation(2)
+	tr.DropEvent("s", "r")
+	tr.Count("c", 1)
+	tr.Observe("h", 1)
+	tr.Advance(time.Second)
+	if tr.Now() != 0 || tr.Counter("c") != 0 || tr.Events() != 0 {
+		t.Error("nil tracer returned non-zero state")
+	}
+	if tr.Counters() != nil || tr.Hists() != nil || tr.PhaseSummary() != nil {
+		t.Error("nil tracer returned non-nil snapshots")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+}
+
+// TestPhaseAttribution pins the span algebra: nested spans, exclusive
+// (self) vs inclusive (total) time, and probe attribution to the
+// innermost open phase.
+func TestPhaseAttribution(t *testing.T) {
+	tr := New(nil)
+	_ = tr.Phase("outer", func() error {
+		tr.ProbeEvent("compile", OutcomeOK, time.Microsecond)
+		return tr.Phase("inner", func() error {
+			tr.ProbeEvent("execute", OutcomeOK, time.Microsecond)
+			tr.ProbeEvent("execute", OutcomeOK, time.Microsecond)
+			return nil
+		})
+	})
+	phases := tr.PhaseSummary()
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2: %+v", len(phases), phases)
+	}
+	outer, inner := phases[0], phases[1]
+	if outer.Name != "outer" || inner.Name != "inner" {
+		t.Fatalf("phase order: %q, %q — want first-open order", outer.Name, inner.Name)
+	}
+	if outer.Probes != 1 || inner.Probes != 2 {
+		t.Errorf("probe attribution: outer=%d inner=%d, want 1 and 2", outer.Probes, inner.Probes)
+	}
+	if outer.Total <= inner.Total {
+		t.Errorf("outer total %v not greater than inner total %v", outer.Total, inner.Total)
+	}
+	if outer.Self != outer.Total-inner.Total {
+		t.Errorf("outer self %v != total %v - child %v", outer.Self, outer.Total, inner.Total)
+	}
+	if inner.Self != inner.Total {
+		t.Errorf("leaf self %v != total %v", inner.Self, inner.Total)
+	}
+}
+
+// TestPhaseErrorPropagates ensures the span closes and the error passes
+// through.
+func TestPhaseErrorPropagates(t *testing.T) {
+	tr := New(nil)
+	err := tr.Phase("p", func() error { return errSentinel })
+	if err != errSentinel {
+		t.Errorf("Phase error = %v, want sentinel", err)
+	}
+	if ps := tr.PhaseSummary(); len(ps) != 1 || ps[0].Spans != 1 {
+		t.Errorf("span did not close on error: %+v", ps)
+	}
+}
+
+var errSentinel = errType{}
+
+type errType struct{}
+
+func (errType) Error() string { return "sentinel" }
+
+// allKindEvents is one representative event per kind, carrying every
+// field its kind encodes — including strings needing JSON escaping.
+var allKindEvents = []Event{
+	{T: 1, Kind: KSpanBegin, Name: "lexer_bootstrap"},
+	{T: 2, Kind: KSpanBegin, Name: "assembler_bisection", Phase: "lexer_bootstrap"},
+	{T: 3, Kind: KSpanEnd, Name: "assembler_bisection", Dur: 1},
+	{T: 4, Kind: KProbe, Name: "compile", Phase: "lexer_bootstrap", Dur: 5, Detail: OutcomeOK},
+	{T: 5, Kind: KRetry, Name: "execute", Phase: "mutation_analysis", N: 2, Dur: 2000000},
+	{T: 6, Kind: KQuorum, Name: "escalation", Phase: "mutation_analysis", N: 3},
+	{T: 7, Kind: KDrop, Name: "int.div.b_c", Phase: "mutation_analysis", Detail: `SA015: "quoted"\backslash` + "\n\ttabbed\rcr\x01ctl"},
+	{T: 8, Kind: KCounter, Name: "probe.attempts", N: 42},
+	{T: 9, Kind: KHist, Name: "probe.attempt_ns", N: 10, Dur: 100, Detail: "0:3 1024:7"},
+}
+
+// TestJSONLSchemaAllKinds pushes one event of every kind through the
+// JSONL encoding and validates each line against the exported Schema:
+// valid JSON, required fields present, nothing outside required+optional,
+// and values surviving the escaping round trip.
+func TestJSONLSchemaAllKinds(t *testing.T) {
+	covered := map[string]bool{}
+	for _, e := range allKindEvents {
+		line := e.AppendJSONL(nil)
+		var fields map[string]any
+		if err := json.Unmarshal(line, &fields); err != nil {
+			t.Fatalf("%s: invalid JSON %q: %v", e.Kind, line, err)
+		}
+		kind, _ := fields["kind"].(string)
+		schema, ok := Schema[kind]
+		if !ok {
+			t.Fatalf("kind %q missing from Schema", kind)
+		}
+		covered[kind] = true
+		allowed := map[string]bool{}
+		for _, f := range schema.Required {
+			if _, present := fields[f]; !present {
+				t.Errorf("%s: missing required %q in %s", kind, f, line)
+			}
+			allowed[f] = true
+		}
+		for _, f := range schema.Optional {
+			allowed[f] = true
+		}
+		for f := range fields {
+			if !allowed[f] {
+				t.Errorf("%s: field %q outside schema in %s", kind, f, line)
+			}
+		}
+		if name, _ := fields["name"].(string); name != e.Name {
+			t.Errorf("%s: name round trip %q != %q", kind, name, e.Name)
+		}
+		if e.Kind.hasDetail() {
+			if detail, _ := fields["detail"].(string); detail != e.Detail {
+				t.Errorf("%s: detail round trip %q != %q", kind, detail, e.Detail)
+			}
+		}
+	}
+	for kind := range Schema {
+		if !covered[kind] {
+			t.Errorf("no fixture event for kind %q", kind)
+		}
+	}
+}
+
+// TestJSONLSinkStreamBytes pins the exact serialized form of a simple
+// stream — field order included, which is what byte-stability rests on.
+func TestJSONLSinkStreamBytes(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(nil, sink)
+	_ = tr.Phase("p", func() error { return nil })
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":1000,"kind":"span_begin","name":"p"}
+{"t":2000,"kind":"span_end","name":"p","dur":1000}
+`
+	if buf.String() != want {
+		t.Errorf("stream bytes:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestChromeSinkValidJSON emits every kind through the Chrome sink and
+// checks the result parses as a trace-event JSON array.
+func TestChromeSinkValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	for _, e := range allKindEvents {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != len(allKindEvents) {
+		t.Fatalf("got %d trace events, want %d", len(events), len(allKindEvents))
+	}
+	if ph, _ := events[0]["ph"].(string); ph != "B" {
+		t.Errorf("span_begin rendered ph=%q, want B", ph)
+	}
+	// Timestamps are ns rendered as µs with three decimals.
+	if ts, _ := events[0]["ts"].(float64); ts != 0.001 {
+		t.Errorf("ts = %v, want 0.001 (1ns)", ts)
+	}
+}
+
+// TestChromeSinkEmptyStream must still close a valid (empty) array.
+func TestChromeSinkEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Errorf("empty stream: %q (err %v)", buf.String(), err)
+	}
+}
+
+// TestHistBuckets pins the power-of-two bucketing and rendering.
+func TestHistBuckets(t *testing.T) {
+	tr := New(nil)
+	for _, v := range []int64{0, 1, 2, 3, 1024, 1500, -5} {
+		tr.Observe("h", v)
+	}
+	hists := tr.Hists()
+	if len(hists) != 1 {
+		t.Fatalf("got %d hists", len(hists))
+	}
+	h := hists[0]
+	if h.Count != 7 {
+		t.Errorf("count = %d, want 7", h.Count)
+	}
+	if h.Sum != 0+1+2+3+1024+1500-5 {
+		t.Errorf("sum = %d", h.Sum)
+	}
+	// 0, -5 → bucket 0 (low 0); 1 → low 1; 2,3 → low 2; 1024,1500 → low 1024.
+	s := h.bucketString()
+	for _, wantPart := range []string{"0:2", "1:1", "2:2", "1024:2"} {
+		if !strings.Contains(s, wantPart) {
+			t.Errorf("bucketString %q missing %q", s, wantPart)
+		}
+	}
+}
+
+// TestCountersSortedSnapshot pins deterministic counter ordering.
+func TestCountersSortedSnapshot(t *testing.T) {
+	tr := New(nil)
+	tr.Count("z", 1)
+	tr.Count("a", 2)
+	tr.Count("m", 3)
+	tr.Count("a", 2)
+	cs := tr.Counters()
+	if len(cs) != 3 || cs[0].Name != "a" || cs[1].Name != "m" || cs[2].Name != "z" {
+		t.Fatalf("counters not sorted: %+v", cs)
+	}
+	if cs[0].Value != 4 {
+		t.Errorf("a = %d, want 4", cs[0].Value)
+	}
+}
+
+// TestFlushEmitsCountersAndHists pins the stream tail: Flush appends one
+// counter event per counter and one hist event per histogram, sorted.
+func TestFlushEmitsCountersAndHists(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(nil, NewJSONLSink(&buf))
+	tr.Count("b", 2)
+	tr.Count("a", 1)
+	tr.Observe("h", 5)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], `"name":"a"`) || !strings.Contains(lines[1], `"name":"b"`) {
+		t.Errorf("counters not sorted in stream: %v", lines)
+	}
+	if !strings.Contains(lines[2], `"kind":"hist"`) {
+		t.Errorf("hist event missing: %v", lines)
+	}
+}
+
+// TestFormatPhaseTable pins the summary rendering contract: empty input
+// renders "", and shares sum to 100%.
+func TestFormatPhaseTable(t *testing.T) {
+	if s := FormatPhaseTable(nil); s != "" {
+		t.Errorf("empty summary rendered %q", s)
+	}
+	s := FormatPhaseTable([]PhaseStat{
+		{Name: "a", Spans: 1, Total: 3 * time.Millisecond, Self: 3 * time.Millisecond, Probes: 10},
+		{Name: "b", Spans: 2, Total: time.Millisecond, Self: time.Millisecond, Probes: 5},
+	})
+	if !strings.HasPrefix(s, "phase attribution:\n") {
+		t.Errorf("missing header: %q", s)
+	}
+	if !strings.Contains(s, "75.0%") || !strings.Contains(s, "25.0%") {
+		t.Errorf("shares wrong: %q", s)
+	}
+}

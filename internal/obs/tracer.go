@@ -1,0 +1,374 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Canonical phase names. The pipeline's spans use these so traces,
+// summary tables, and bench trajectories agree on spelling.
+const (
+	PhaseLexerBootstrap     = "lexer_bootstrap"
+	PhaseAssemblerBisection = "assembler_bisection"
+	PhaseMutationAnalysis   = "mutation_analysis"
+	PhaseReverseInterp      = "reverse_interpretation"
+	PhaseSynthesis          = "md_synthesis"
+	PhaseValidation         = "validation"
+)
+
+// Probe outcome strings for KProbe events.
+const (
+	OutcomeOK        = "ok"
+	OutcomeTransient = "transient"
+	OutcomePermanent = "permanent"
+)
+
+// Sink consumes the event stream. Sinks are driven under the Tracer's
+// lock, in emit order, from whatever goroutine the pipeline runs on —
+// they need no locking of their own and must not call back into the
+// Tracer.
+type Sink interface {
+	Emit(Event)
+	Flush() error
+}
+
+// Tracer is the telemetry hub: it stamps events from the injected Clock,
+// tracks the phase-span stack, attributes probe work to the innermost
+// open phase, and owns the named counters and histograms. A nil *Tracer
+// is a valid no-op on every method, and the zero cost of an unused
+// tracer is one branch. Safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  Clock
+	sinks  []Sink
+	events int64
+
+	stack    []spanFrame
+	counters map[string]int64
+	hists    map[string]*Hist
+	phases   map[string]*PhaseStat
+	order    []string // phases in first-open order
+}
+
+// spanFrame is one open phase span.
+type spanFrame struct {
+	name  string
+	start time.Duration
+	child time.Duration // inclusive time of completed child spans
+}
+
+// PhaseStat aggregates one phase across all its spans.
+type PhaseStat struct {
+	Name   string
+	Spans  int
+	Total  time.Duration // inclusive (contains nested spans)
+	Self   time.Duration // exclusive
+	Probes int64         // physical toolchain attempts attributed here
+}
+
+// New builds a tracer on the given clock (nil means a fresh
+// VirtualClock) emitting to the given sinks (none is fine: counters,
+// histograms, and phase attribution still accumulate).
+func New(clock Clock, sinks ...Sink) *Tracer {
+	if clock == nil {
+		clock = NewVirtualClock()
+	}
+	return &Tracer{
+		clock:    clock,
+		sinks:    sinks,
+		counters: map[string]int64{},
+		hists:    map[string]*Hist{},
+		phases:   map[string]*PhaseStat{},
+	}
+}
+
+// Now reads the tracer's clock (virtual or wall, per injection).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Advance absorbs a scheduled duration into a virtual clock; on a wall
+// clock (where the caller actually slept) it is a no-op.
+func (t *Tracer) Advance(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if a, ok := t.clock.(advancer); ok {
+		a.Advance(d)
+	}
+}
+
+// Events returns how many events have been emitted so far.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// emit fans an event out to the sinks. Caller holds t.mu.
+func (t *Tracer) emit(e Event) {
+	t.events++
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Phase runs fn inside a named span: a span_begin/span_end event pair,
+// phase attribution for every probe event emitted inside, and pprof
+// labels ("srcg_phase") so CPU profiles break down by phase too. Spans
+// nest; a child's inclusive time is excluded from the parent's Self.
+func (t *Tracer) Phase(name string, fn func() error) error {
+	if t == nil {
+		return fn()
+	}
+	t.begin(name)
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("srcg_phase", name), func(context.Context) {
+		err = fn()
+	})
+	t.end()
+	return err
+}
+
+func (t *Tracer) begin(name string) {
+	t.mu.Lock()
+	now := t.clock.Now()
+	parent := ""
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1].name
+	}
+	t.stack = append(t.stack, spanFrame{name: name, start: now})
+	t.emit(Event{T: now, Kind: KSpanBegin, Name: name, Phase: parent})
+	t.mu.Unlock()
+}
+
+func (t *Tracer) end() {
+	t.mu.Lock()
+	now := t.clock.Now()
+	n := len(t.stack)
+	if n == 0 {
+		t.mu.Unlock()
+		return
+	}
+	f := t.stack[n-1]
+	t.stack = t.stack[:n-1]
+	total := now - f.start
+	if n > 1 {
+		t.stack[n-2].child += total
+	}
+	ps := t.phaseLocked(f.name)
+	ps.Spans++
+	ps.Total += total
+	ps.Self += total - f.child
+	t.emit(Event{T: now, Kind: KSpanEnd, Name: f.name, Dur: total})
+	t.mu.Unlock()
+}
+
+// phaseLocked returns (creating if needed) the aggregate for a phase.
+// Caller holds t.mu.
+func (t *Tracer) phaseLocked(name string) *PhaseStat {
+	ps, ok := t.phases[name]
+	if !ok {
+		ps = &PhaseStat{Name: name}
+		t.phases[name] = ps
+		t.order = append(t.order, name)
+	}
+	return ps
+}
+
+// current returns the innermost open phase name. Caller holds t.mu.
+func (t *Tracer) current() string {
+	if n := len(t.stack); n > 0 {
+		return t.stack[n-1].name
+	}
+	return ""
+}
+
+// ProbeEvent records one physical toolchain call: op is compile,
+// assemble, link, or execute; outcome is ok, transient, or permanent.
+// The call is attributed to the innermost open phase.
+func (t *Tracer) ProbeEvent(op, outcome string, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	now := t.clock.Now()
+	ph := t.current()
+	if ph != "" {
+		t.phaseLocked(ph).Probes++
+	}
+	t.emit(Event{T: now, Kind: KProbe, Name: op, Phase: ph, Dur: dur, Detail: outcome})
+	t.mu.Unlock()
+}
+
+// RetryEvent records a re-attempt after a transient fault: attempt is
+// the 1-based retry index, backoff the scheduled (virtual) wait.
+func (t *Tracer) RetryEvent(op string, attempt int, backoff time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{T: t.clock.Now(), Kind: KRetry, Name: op, Phase: t.current(),
+		N: int64(attempt), Dur: backoff})
+	t.mu.Unlock()
+}
+
+// QuorumEscalation records two runs of one program disagreeing, raising
+// the output-quorum bar; runs is the execution count at escalation.
+func (t *Tracer) QuorumEscalation(runs int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{T: t.clock.Now(), Kind: KQuorum, Name: "escalation",
+		Phase: t.current(), N: int64(runs)})
+	t.mu.Unlock()
+}
+
+// DropEvent records a sample abandoned by the checker gate (SA015).
+func (t *Tracer) DropEvent(sample, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{T: t.clock.Now(), Kind: KDrop, Name: sample,
+		Phase: t.current(), Detail: reason})
+	t.mu.Unlock()
+}
+
+// Count adds delta to a named counter.
+func (t *Tracer) Count(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Counter reads a named counter (0 if never written).
+func (t *Tracer) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
+
+// Observe adds one value to a named histogram.
+func (t *Tracer) Observe(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	h, ok := t.hists[name]
+	if !ok {
+		h = &Hist{}
+		t.hists[name] = h
+	}
+	h.observe(v)
+	t.mu.Unlock()
+}
+
+// Counters snapshots every counter, sorted by name.
+func (t *Tracer) Counters() []CounterStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.countersLocked()
+}
+
+// CounterStat is one counter snapshot.
+type CounterStat struct {
+	Name  string
+	Value int64
+}
+
+func (t *Tracer) countersLocked() []CounterStat {
+	names := make([]string, 0, len(t.counters))
+	for name := range t.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]CounterStat, 0, len(names))
+	for _, name := range names {
+		out = append(out, CounterStat{Name: name, Value: t.counters[name]})
+	}
+	return out
+}
+
+// Hists snapshots every histogram, sorted by name.
+func (t *Tracer) Hists() []HistStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.histsLocked()
+}
+
+func (t *Tracer) histsLocked() []HistStat {
+	names := make([]string, 0, len(t.hists))
+	for name := range t.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]HistStat, 0, len(names))
+	for _, name := range names {
+		h := t.hists[name]
+		out = append(out, HistStat{Name: name, Count: h.count, Sum: h.sum, Buckets: h.buckets})
+	}
+	return out
+}
+
+// PhaseSummary returns per-phase aggregates in first-open order.
+func (t *Tracer) PhaseSummary() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseStat, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.phases[name])
+	}
+	return out
+}
+
+// Flush seals the stream: final counter values and histogram snapshots
+// are emitted (sorted by name, so the tail of the stream is as
+// deterministic as the body), then every sink is flushed. Call once,
+// after the traced work is done.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	for _, c := range t.countersLocked() {
+		t.emit(Event{T: t.clock.Now(), Kind: KCounter, Name: c.Name, N: c.Value})
+	}
+	for _, h := range t.histsLocked() {
+		t.emit(Event{T: t.clock.Now(), Kind: KHist, Name: h.Name,
+			N: h.Count, Dur: time.Duration(h.Sum), Detail: h.bucketString()})
+	}
+	var err error
+	for _, s := range t.sinks {
+		if ferr := s.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	t.mu.Unlock()
+	return err
+}

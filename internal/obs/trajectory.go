@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Trajectory mirrors BENCH_discover.json: an append-only series of
+// benchmark runs, one entry per recording, each mapping target/variant
+// keys ("vax/clean") to measured results. cmd/benchdiff compares two of
+// these — the cross-PR comparison step the bench trajectory was started
+// for.
+type Trajectory struct {
+	Benchmark   string          `json:"benchmark"`
+	Description string          `json:"description,omitempty"`
+	Runs        []TrajectoryRun `json:"runs"`
+}
+
+// TrajectoryRun is one recorded benchmark run.
+type TrajectoryRun struct {
+	Date    string                      `json:"date,omitempty"`
+	Go      string                      `json:"go,omitempty"`
+	CPU     string                      `json:"cpu,omitempty"`
+	Results map[string]TrajectoryResult `json:"results"`
+}
+
+// TrajectoryResult is one target/variant's measurements. Phases maps
+// phase name → exclusive nanoseconds (the obs phase attribution).
+type TrajectoryResult struct {
+	NsPerOp    float64            `json:"ns_per_op"`
+	Executions float64            `json:"executions,omitempty"`
+	Attempts   float64            `json:"attempts,omitempty"`
+	Retries    float64            `json:"retries,omitempty"`
+	Solved     float64            `json:"solved,omitempty"`
+	Phases     map[string]float64 `json:"phases,omitempty"`
+}
+
+// ParseTrajectory decodes a trajectory file.
+func ParseTrajectory(data []byte) (*Trajectory, error) {
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trajectory: %w", err)
+	}
+	if len(t.Runs) == 0 {
+		return nil, fmt.Errorf("trajectory: no runs recorded")
+	}
+	return &t, nil
+}
+
+// Last returns the most recent run.
+func (t *Trajectory) Last() TrajectoryRun { return t.Runs[len(t.Runs)-1] }
+
+// Delta is one compared measurement. Phase is "" for the whole-run
+// ns_per_op row. Ratio is new/old; Regressed marks ratios beyond the
+// diff threshold.
+type Delta struct {
+	Target    string
+	Phase     string
+	Old, New  float64
+	Ratio     float64
+	Regressed bool
+}
+
+// DiffRuns compares two runs target by target and phase by phase.
+// threshold is the regression ratio margin: a measurement counts as
+// regressed when new > old*(1+threshold). Targets or phases present in
+// only one run are skipped (they have no baseline); the deltas come
+// back sorted by target then phase, whole-run rows first.
+func DiffRuns(old, new TrajectoryRun, threshold float64) []Delta {
+	var out []Delta
+	targets := make([]string, 0, len(new.Results))
+	for name := range new.Results {
+		if _, ok := old.Results[name]; ok {
+			targets = append(targets, name)
+		}
+	}
+	sort.Strings(targets)
+	for _, name := range targets {
+		o, n := old.Results[name], new.Results[name]
+		out = append(out, makeDelta(name, "", o.NsPerOp, n.NsPerOp, threshold))
+		phases := make([]string, 0, len(n.Phases))
+		for ph := range n.Phases {
+			if _, ok := o.Phases[ph]; ok {
+				phases = append(phases, ph)
+			}
+		}
+		sort.Strings(phases)
+		for _, ph := range phases {
+			out = append(out, makeDelta(name, ph, o.Phases[ph], n.Phases[ph], threshold))
+		}
+	}
+	return out
+}
+
+func makeDelta(target, phase string, old, new, threshold float64) Delta {
+	d := Delta{Target: target, Phase: phase, Old: old, New: new}
+	if old > 0 {
+		d.Ratio = new / old
+	} else if new > 0 {
+		d.Ratio = math.Inf(1)
+	} else {
+		d.Ratio = 1
+	}
+	d.Regressed = d.Ratio > 1+threshold
+	return d
+}
+
+// Regressions filters a diff down to the regressed rows.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDiff renders a diff as a human-readable table: one block per
+// target, whole-run row first, indented per-phase rows after, regressed
+// rows tagged. Durations render in milliseconds for readability.
+func FormatDiff(deltas []Delta) string {
+	if len(deltas) == 0 {
+		return "benchdiff: no comparable targets\n"
+	}
+	var sb strings.Builder
+	for _, d := range deltas {
+		label := d.Target
+		if d.Phase != "" {
+			label = "  " + d.Phase
+		}
+		tag := ""
+		if d.Regressed {
+			tag = "  REGRESSION"
+		}
+		fmt.Fprintf(&sb, "%-28s %12.1fms -> %12.1fms  %+6.1f%%%s\n",
+			label, d.Old/1e6, d.New/1e6, 100*(d.Ratio-1), tag)
+	}
+	return sb.String()
+}

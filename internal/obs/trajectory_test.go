@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiffRunsFlagsSyntheticRegression drives the benchdiff core over the
+// committed synthetic fixture: run 2 triples vax's mutation_analysis
+// phase, and exactly the regressed rows must be flagged.
+func TestDiffRunsFlagsSyntheticRegression(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "regression_fixture.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := ParseTrajectory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 2 {
+		t.Fatalf("fixture has %d runs, want 2", len(traj.Runs))
+	}
+	deltas := DiffRuns(traj.Runs[0], traj.Runs[1], 0.10)
+	regressed := Regressions(deltas)
+
+	wantRegressed := map[string]bool{
+		"vax/clean|":                  true, // whole-run ns_per_op 0.5s -> 1.2s
+		"vax/clean|mutation_analysis": true, // 0.3s -> 1.0s
+	}
+	got := map[string]bool{}
+	for _, d := range regressed {
+		got[d.Target+"|"+d.Phase] = true
+	}
+	for key := range wantRegressed {
+		if !got[key] {
+			t.Errorf("regression %q not flagged; flagged: %v", key, got)
+		}
+	}
+	for key := range got {
+		if !wantRegressed[key] {
+			t.Errorf("spurious regression flagged: %q", key)
+		}
+	}
+	// x86 improved slightly — its ratio must sit below 1.
+	for _, d := range deltas {
+		if d.Target == "x86/clean" && d.Phase == "" && d.Ratio >= 1 {
+			t.Errorf("x86 whole-run ratio = %v, want < 1", d.Ratio)
+		}
+	}
+	// The human rendering must carry the REGRESSION tag.
+	rendered := FormatDiff(deltas)
+	if !strings.Contains(rendered, "REGRESSION") {
+		t.Errorf("FormatDiff output has no REGRESSION tag:\n%s", rendered)
+	}
+}
+
+// TestDiffRunsEdgeCases pins baseline-free and zero-old behavior.
+func TestDiffRunsEdgeCases(t *testing.T) {
+	old := TrajectoryRun{Results: map[string]TrajectoryResult{
+		"a": {NsPerOp: 100, Phases: map[string]float64{"p": 0}},
+	}}
+	new := TrajectoryRun{Results: map[string]TrajectoryResult{
+		"a": {NsPerOp: 100, Phases: map[string]float64{"p": 50, "q": 10}},
+		"b": {NsPerOp: 999},
+	}}
+	deltas := DiffRuns(old, new, 0.10)
+	// Target b and phase q have no baseline: skipped.
+	for _, d := range deltas {
+		if d.Target == "b" || d.Phase == "q" {
+			t.Errorf("baseline-free row not skipped: %+v", d)
+		}
+	}
+	// Phase p went 0 -> 50: infinite ratio, regressed.
+	found := false
+	for _, d := range deltas {
+		if d.Phase == "p" {
+			found = true
+			if !math.IsInf(d.Ratio, 1) || !d.Regressed {
+				t.Errorf("zero-baseline growth: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Error("phase p missing from diff")
+	}
+}
+
+// TestParseTrajectoryRejectsEmpty pins the error contract.
+func TestParseTrajectoryRejectsEmpty(t *testing.T) {
+	if _, err := ParseTrajectory([]byte(`{"benchmark":"x","runs":[]}`)); err == nil {
+		t.Error("no error for empty runs")
+	}
+	if _, err := ParseTrajectory([]byte(`not json`)); err == nil {
+		t.Error("no error for invalid JSON")
+	}
+}

@@ -14,8 +14,13 @@
 //     cannot make mutation analysis mis-attribute noise as a semantic
 //     difference (§4).
 //
-// The Prober is also the single choke point the planned parallel probe
-// engine and content-addressed probe cache will attach to.
+// The Prober is also the telemetry choke point: every physical toolchain
+// call, retry, and quorum escalation is reported to an obs.Tracer, and
+// the resilience counters live there — Stats is a read-only view over the
+// tracer's counters, so the probe layer and core.Report() can never
+// drift apart on attempts/retries/quorum tallies. The same single seam
+// is where the planned parallel probe engine and content-addressed probe
+// cache will attach.
 package probe
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"srcg/internal/asm"
+	"srcg/internal/obs"
 	"srcg/internal/target"
 )
 
@@ -45,6 +51,11 @@ type Config struct {
 	// three. QuorumN=1 trusts a single run (no re-execution); 0 means
 	// DefaultQuorumN.
 	QuorumN int
+	// Trace receives probe-level telemetry: one event per physical
+	// toolchain call, retry, and quorum escalation, and the resilience
+	// counters Stats reads. Nil gets a private sink-less tracer, so the
+	// counters always exist.
+	Trace *obs.Tracer
 }
 
 // Policy defaults.
@@ -79,8 +90,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts the resilience work a Prober performed — the Diagnostics
-// half of the paper's cost story under a hostile machine room.
+// Counter names the probe layer maintains on its tracer. Stats is a view
+// over exactly these; core.Report() renders the same numbers.
+const (
+	CtrProbes          = "probe.probes"
+	CtrAttempts        = "probe.attempts"
+	CtrRetries         = "probe.retries"
+	CtrFaultsSurvived  = "probe.faults_survived"
+	CtrExhausted       = "probe.exhausted"
+	CtrQuorumRuns      = "probe.quorum_runs"
+	CtrQuorumConflicts = "probe.quorum_conflicts"
+	CtrBackoffNs       = "probe.backoff_ns"
+
+	// HistAttemptNs is the duration histogram over physical toolchain
+	// calls (virtual ticks under a VirtualClock, real ns under wall).
+	HistAttemptNs = "probe.attempt_ns"
+)
+
+// Stats is a snapshot of the resilience work a Prober performed — the
+// Diagnostics half of the paper's cost story under a hostile machine
+// room. It is a read-only view over the tracer's probe.* counters, not
+// an independent tally; Probers sharing one tracer share the counts.
 type Stats struct {
 	Probes          int           // logical probe requests issued by the discovery unit
 	Attempts        int           // physical toolchain calls (includes retries and quorum runs)
@@ -112,13 +142,16 @@ func (s Stats) String() string {
 // Prober drives one toolchain resiliently. It is safe for concurrent use.
 type Prober struct {
 	cfg Config
+	tc  target.Toolchain
+	tr  *obs.Tracer
 
-	mu    sync.Mutex
-	tc    target.Toolchain
-	stats Stats
+	mu sync.Mutex
 	// noisy is set the first time two runs of one program disagree, and
 	// never cleared: a machine caught lying once pays the higher quorum
 	// bar (3 agreeing runs instead of 2) for the rest of the session.
+	// It is a per-Prober latch, deliberately not a shared counter: a
+	// noisy discovery target must not raise the bar for a different
+	// toolchain that happens to share the tracer.
 	noisy bool
 }
 
@@ -132,62 +165,97 @@ func (p *Prober) Noisy() bool {
 
 // New wraps a toolchain in the resilience policy.
 func New(tc target.Toolchain, cfg Config) *Prober {
-	return &Prober{tc: tc, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil {
+		cfg.Trace = obs.New(nil)
+	}
+	return &Prober{tc: tc, cfg: cfg, tr: cfg.Trace}
 }
 
 // Toolchain returns the wrapped toolchain.
 func (p *Prober) Toolchain() target.Toolchain { return p.tc }
 
-// Stats snapshots the resilience counters.
+// Tracer returns the telemetry tracer all probe events flow to.
+func (p *Prober) Tracer() *obs.Tracer { return p.tr }
+
+// Stats snapshots the resilience counters from the tracer.
 func (p *Prober) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Probes:          int(p.tr.Counter(CtrProbes)),
+		Attempts:        int(p.tr.Counter(CtrAttempts)),
+		Retries:         int(p.tr.Counter(CtrRetries)),
+		FaultsSurvived:  int(p.tr.Counter(CtrFaultsSurvived)),
+		Exhausted:       int(p.tr.Counter(CtrExhausted)),
+		QuorumRuns:      int(p.tr.Counter(CtrQuorumRuns)),
+		QuorumConflicts: int(p.tr.Counter(CtrQuorumConflicts)),
+		Backoff:         time.Duration(p.tr.Counter(CtrBackoffNs)),
+	}
+}
+
+// outcomeOf classifies a physical call's error for the probe event.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case IsTransient(err):
+		return obs.OutcomeTransient
+	default:
+		return obs.OutcomePermanent
+	}
+}
+
+// call performs one physical toolchain interaction: it runs fn, counts
+// the attempt, observes its duration, and emits the probe event. This is
+// the telemetry choke point — every compile, assemble, link, and
+// execute in the system lands here exactly once.
+func (p *Prober) call(op string, fn func() error) error {
+	start := p.tr.Now()
+	err := fn()
+	dur := p.tr.Now() - start
+	p.tr.Count(CtrAttempts, 1)
+	p.tr.Observe(HistAttemptNs, int64(dur))
+	p.tr.ProbeEvent(op, outcomeOf(err), dur)
+	return err
 }
 
 // backoff accounts (and optionally sleeps) the wait before retry attempt
-// `retry` (1-based). The schedule is a pure function of the attempt index.
-func (p *Prober) backoff(retry int) {
+// `retry` (1-based). The schedule is a pure function of the attempt
+// index; a virtual tracer clock absorbs the scheduled duration so the
+// trace timeline reflects it without any real sleeping.
+func (p *Prober) backoff(retry int) time.Duration {
 	d := p.cfg.BackoffBase << uint(retry-1)
 	if d > p.cfg.BackoffCap || d <= 0 {
 		d = p.cfg.BackoffCap
 	}
-	p.mu.Lock()
-	p.stats.Backoff += d
-	p.mu.Unlock()
+	p.tr.Count(CtrBackoffNs, int64(d))
+	p.tr.Advance(d)
 	if p.cfg.Sleep != nil {
 		p.cfg.Sleep(d)
 	}
+	return d
 }
 
 // retry runs op, retrying transient faults up to the budget. Permanent
 // errors pass through untouched — they are the discovery unit's signal.
 func (p *Prober) retry(opName string, op func() error) error {
-	p.mu.Lock()
-	p.stats.Probes++
-	p.mu.Unlock()
+	p.tr.Count(CtrProbes, 1)
 	var last error
 	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			p.backoff(attempt)
-			p.mu.Lock()
-			p.stats.Retries++
-			p.mu.Unlock()
+			d := p.backoff(attempt)
+			p.tr.Count(CtrRetries, 1)
+			p.tr.RetryEvent(opName, attempt, d)
 		}
 		err := op()
 		if err == nil || !IsTransient(err) {
 			if attempt > 0 {
-				p.mu.Lock()
-				p.stats.FaultsSurvived += attempt
-				p.mu.Unlock()
+				p.tr.Count(CtrFaultsSurvived, int64(attempt))
 			}
 			return err
 		}
 		last = err
 	}
-	p.mu.Lock()
-	p.stats.Exhausted++
-	p.mu.Unlock()
+	p.tr.Count(CtrExhausted, 1)
 	return &ExhaustedError{Op: opName, Attempts: p.cfg.Retries + 1, Last: last}
 }
 
@@ -195,10 +263,11 @@ func (p *Prober) retry(opName string, op func() error) error {
 func (p *Prober) CompileC(src string) (string, error) {
 	var text string
 	err := p.retry("compile", func() error {
-		p.bump()
-		var err error
-		text, err = p.tc.CompileC(src)
-		return err
+		return p.call("compile", func() error {
+			var err error
+			text, err = p.tc.CompileC(src)
+			return err
+		})
 	})
 	return text, err
 }
@@ -208,10 +277,11 @@ func (p *Prober) CompileC(src string) (string, error) {
 func (p *Prober) Assemble(text string) (*asm.Unit, error) {
 	var u *asm.Unit
 	err := p.retry("assemble", func() error {
-		p.bump()
-		var err error
-		u, err = p.tc.Assemble(text)
-		return err
+		return p.call("assemble", func() error {
+			var err error
+			u, err = p.tc.Assemble(text)
+			return err
+		})
 	})
 	return u, err
 }
@@ -220,10 +290,11 @@ func (p *Prober) Assemble(text string) (*asm.Unit, error) {
 func (p *Prober) Link(units []*asm.Unit) (*asm.Image, error) {
 	var img *asm.Image
 	err := p.retry("link", func() error {
-		p.bump()
-		var err error
-		img, err = p.tc.Link(units)
-		return err
+		return p.call("link", func() error {
+			var err error
+			img, err = p.tc.Link(units)
+			return err
+		})
 	})
 	return img, err
 }
@@ -243,12 +314,6 @@ func (p *Prober) Execute(img *asm.Image) (string, error) {
 	return out, err
 }
 
-func (p *Prober) bump() {
-	p.mu.Lock()
-	p.stats.Attempts++
-	p.mu.Unlock()
-}
-
 type observation struct {
 	out string
 	err error
@@ -260,19 +325,24 @@ type observation struct {
 // vote; they consume run budget and are retried by the caller if the
 // budget empties.
 func (p *Prober) quorumExecute(img *asm.Image) (string, error) {
+	execute := func() (string, error) {
+		var out string
+		err := p.call("execute", func() error {
+			var err error
+			out, err = p.tc.Execute(img)
+			return err
+		})
+		return out, err
+	}
 	if p.cfg.QuorumN == 1 {
-		p.bump()
-		return p.tc.Execute(img)
+		return execute()
 	}
 	votes := map[string]int{}
-	obs := map[string]observation{}
+	obsv := map[string]observation{}
 	conflict := false
 	for run := 0; run < p.cfg.QuorumN; run++ {
-		p.bump()
-		p.mu.Lock()
-		p.stats.QuorumRuns++
-		p.mu.Unlock()
-		out, err := p.tc.Execute(img)
+		p.tr.Count(CtrQuorumRuns, 1)
+		out, err := execute()
 		if err != nil && IsTransient(err) {
 			continue // consumes a run slot; counted as survived if a quorum forms
 		}
@@ -281,11 +351,12 @@ func (p *Prober) quorumExecute(img *asm.Image) (string, error) {
 			key = "err:" + err.Error() + "\x00" + out
 		}
 		votes[key]++
-		obs[key] = observation{out, err}
+		obsv[key] = observation{out, err}
 		if len(votes) > 1 && !conflict {
 			conflict = true
+			p.tr.Count(CtrQuorumConflicts, 1)
+			p.tr.QuorumEscalation(run + 1)
 			p.mu.Lock()
-			p.stats.QuorumConflicts++
 			p.noisy = true
 			p.mu.Unlock()
 		}
@@ -297,10 +368,8 @@ func (p *Prober) quorumExecute(img *asm.Image) (string, error) {
 			// Every run that did not vote for the winner — losing
 			// outputs and transient faults alike — was noise this
 			// quorum absorbed.
-			p.mu.Lock()
-			p.stats.FaultsSurvived += run + 1 - votes[key]
-			p.mu.Unlock()
-			return obs[key].out, obs[key].err
+			p.tr.Count(CtrFaultsSurvived, int64(run+1-votes[key]))
+			return obsv[key].out, obsv[key].err
 		}
 	}
 	return "", &QuorumError{Runs: p.cfg.QuorumN, Votes: len(votes)}

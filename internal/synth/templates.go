@@ -109,6 +109,13 @@ func Synthesize(in Input) (*Spec, error) {
 		return nil, err
 	}
 	in.deriveChains(s)
+	// Synthesis telemetry on the run's shared tracer: how much of the
+	// machine description materialized, and where the gaps are.
+	tr := in.Rig.Trace()
+	tr.Count("synth.op_templates", int64(len(s.Ops)))
+	tr.Count("synth.branch_templates", int64(len(s.Branches)))
+	tr.Count("synth.call_templates", int64(len(s.Calls)))
+	tr.Count("synth.gaps", int64(len(s.Gaps)))
 	return s, nil
 }
 
