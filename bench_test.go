@@ -18,6 +18,7 @@ import (
 	"srcg/internal/experiments"
 	"srcg/internal/faulty"
 	"srcg/internal/obs"
+	"srcg/internal/probe"
 )
 
 // benchSuite shares discovery results across all benchmarks in this file,
@@ -165,7 +166,7 @@ func recordBenchResult(b *testing.B, key string, d *srcg.Discovery) {
 	}
 	res := obs.TrajectoryResult{
 		NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		Executions: float64(d.Rig.Stats.Executions),
+		Executions: float64(d.Rig.Stats().Executions),
 		Attempts:   float64(d.ProbeStats.Attempts),
 		Retries:    float64(d.ProbeStats.Retries),
 		Solved:     float64(len(d.Outcome.Solved)),
@@ -214,10 +215,58 @@ func BenchmarkDiscoverEndToEnd(b *testing.B) {
 				last = d
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(last.Rig.Stats.Executions), "executions")
+			b.ReportMetric(float64(last.Rig.Stats().Executions), "executions")
 			b.ReportMetric(float64(last.ProbeStats.Attempts), "attempts")
 			b.ReportMetric(float64(len(last.Outcome.Solved)), "solved")
 			recordBenchResult(b, arch+"/clean", last)
+		})
+		b.Run(arch+"/parallel8", func(b *testing.B) {
+			// Same discovery as clean, fanned over 8 pool workers. The
+			// results are byte-identical by the determinism contract; only
+			// the wall clock may move.
+			tr := obs.New(obs.NewWallClock())
+			var last *srcg.Discovery
+			for i := 0; i < b.N; i++ {
+				t := srcg.NewTarget(arch)
+				d, err := srcg.Discover(t, srcg.Options{Seed: int64(i) + 1, Trace: tr, Workers: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = d
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Rig.Stats().Executions), "executions")
+			b.ReportMetric(float64(last.ProbeStats.Attempts), "attempts")
+			b.ReportMetric(float64(len(last.Outcome.Solved)), "solved")
+			recordBenchResult(b, arch+"/parallel8", last)
+		})
+		b.Run(arch+"/warm", func(b *testing.B) {
+			// Warm-cache variant: one discovery outside the timer fills a
+			// shared content-addressed cache; the timed iterations rerun the
+			// identical discovery (same seed) and replay from it. This is
+			// the repeat-run cost the cache exists to eliminate.
+			cache := probe.NewCache()
+			warmup := srcg.NewTarget(arch)
+			if _, err := srcg.Discover(warmup, srcg.Options{Seed: 1, Workers: 8, Cache: cache,
+				Trace: obs.New(obs.NewWallClock())}); err != nil {
+				b.Fatal(err)
+			}
+			tr := obs.New(obs.NewWallClock())
+			var last *srcg.Discovery
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := srcg.NewTarget(arch)
+				d, err := srcg.Discover(t, srcg.Options{Seed: 1, Trace: tr, Workers: 8, Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = d
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Rig.Stats().Executions), "executions")
+			b.ReportMetric(float64(tr.Counter(probe.CtrCacheHits))/float64(b.N), "cache_hits")
+			b.ReportMetric(float64(len(last.Outcome.Solved)), "solved")
+			recordBenchResult(b, arch+"/warm", last)
 		})
 		b.Run(arch+"/faulty", func(b *testing.B) {
 			tr := obs.New(obs.NewWallClock())
@@ -232,7 +281,7 @@ func BenchmarkDiscoverEndToEnd(b *testing.B) {
 				last = d
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(last.Rig.Stats.Executions), "executions")
+			b.ReportMetric(float64(last.Rig.Stats().Executions), "executions")
 			b.ReportMetric(float64(last.ProbeStats.Attempts), "attempts")
 			b.ReportMetric(float64(last.ProbeStats.Retries), "retries")
 			b.ReportMetric(float64(len(last.Outcome.Solved)), "solved")

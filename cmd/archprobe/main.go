@@ -42,5 +42,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(lexer.DescribeModel(model))
-	fmt.Printf("cost: %s\n", rig.Stats)
+	fmt.Printf("cost: %s\n", rig.Stats())
 }

@@ -39,8 +39,8 @@ func (f Finding) String() string {
 // reach into a concrete machine model or target implementation.
 var DiscoverySide = []string{
 	"gen", "lexer", "mutate", "dfg", "extract", "synth", "core",
-	"discovery", "sem", "enquire", "beg", "check", "probe", "faulty",
-	"obs",
+	"discovery", "sem", "enquire", "beg", "check", "pool", "probe",
+	"faulty", "obs",
 }
 
 // forbidden import paths for discovery-side code: the instruction-level

@@ -37,8 +37,8 @@ import (
 var DeterminismScope = []string{
 	"asm", "beg", "cc", "check", "check/analyzers", "cliflags", "core",
 	"dfg", "discovery", "enquire", "experiments", "extract", "faulty",
-	"gen", "ir", "lexer", "machine", "mutate", "obs", "probe", "sem",
-	"synth",
+	"gen", "ir", "lexer", "machine", "mutate", "obs", "pool", "probe",
+	"sem", "synth",
 }
 
 // Determinism bundles the five contract analyzers in reporting order.

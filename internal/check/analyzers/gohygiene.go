@@ -32,9 +32,14 @@ var GoHygiene = &Analyzer{
 var concurrencySeams = []string{"internal/pool"}
 
 func runGoHygiene(dir string) ([]Finding, error) {
+	// Resolve relative paths ("../../pool" from a test, "internal/pool"
+	// from srcganalyze) to one canonical form before the seam check.
 	slash := filepath.ToSlash(dir)
+	if abs, err := filepath.Abs(dir); err == nil {
+		slash = filepath.ToSlash(abs)
+	}
 	for _, seam := range concurrencySeams {
-		if strings.HasSuffix(slash, seam) {
+		if slash == seam || strings.HasSuffix(slash, "/"+seam) {
 			return nil, nil // an audited seam itself
 		}
 	}

@@ -1,6 +1,7 @@
 // Package cliflags hoists the flag wiring shared by the srcg command-line
 // tools (cmd/discover, cmd/srcgvet): the discovery options every tool
-// takes (-seed, -full, -signedshifts), fault injection (-faults), and the
+// takes (-seed, -full, -signedshifts), the probe engine (-workers,
+// -cache), fault injection (-faults), and the
 // telemetry tap (-trace, -traceformat). Each tool registers the shared
 // set once and keeps its own extras (-beg, -dot, …) beside it, so a new
 // knob lands in every tool by construction instead of by copy-paste.
@@ -14,6 +15,7 @@ import (
 	"srcg"
 	"srcg/internal/faulty"
 	"srcg/internal/obs"
+	"srcg/internal/probe"
 )
 
 // Common holds the flag values shared by every srcg tool.
@@ -21,6 +23,8 @@ type Common struct {
 	Seed         int64
 	Full         bool
 	SignedShifts bool
+	Workers      int
+	Cache        bool
 	Faults       string
 	TracePath    string
 	TraceFormat  string
@@ -34,6 +38,10 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Full, "full", false, "use the complete operand-shape sample set")
 	fs.BoolVar(&c.SignedShifts, "signedshifts", false,
 		"enable the signed-count shift primitive (extension beyond the paper; resolves the VAX ashl limitation)")
+	fs.IntVar(&c.Workers, "workers", 1,
+		"probe-pool width: independent probes fan out over this many goroutines (results are byte-identical at any width)")
+	fs.BoolVar(&c.Cache, "cache", false,
+		"memoize probe results content-addressed, skipping repeated toolchain round-trips")
 	fs.StringVar(&c.Faults, "faults", "",
 		"inject transient toolchain faults and output noise: <seed>:<rate> (e.g. 7:0.1)")
 	fs.StringVar(&c.TracePath, "trace", "",
@@ -63,12 +71,17 @@ func (c *Common) WrapTarget(name string) (srcg.Target, error) {
 // Options assembles the discovery options the shared flags describe,
 // installing tr as the run's tracer.
 func (c *Common) Options(tr *obs.Tracer) srcg.Options {
-	return srcg.Options{
+	opts := srcg.Options{
 		Seed:         c.Seed,
 		Full:         c.Full,
 		SignedShifts: c.SignedShifts,
+		Workers:      c.Workers,
 		Trace:        tr,
 	}
+	if c.Cache {
+		opts.Cache = probe.NewCache()
+	}
+	return opts
 }
 
 // OpenTrace opens the -trace sink. With -trace unset it returns a nil

@@ -18,6 +18,7 @@ import (
 	"srcg/internal/lexer"
 	"srcg/internal/mutate"
 	"srcg/internal/obs"
+	"srcg/internal/pool"
 	"srcg/internal/probe"
 	"srcg/internal/synth"
 	"srcg/internal/target"
@@ -61,6 +62,20 @@ type Options struct {
 	// reads a wall clock, so a virtual-clock trace is byte-identical
 	// across double runs.
 	Trace *obs.Tracer
+	// Workers fans independent probe work — per-sample mutation analysis,
+	// assembler-bisection keys, validation programs — across a worker
+	// pool at the probe seam (internal/pool). Results and traces are
+	// byte-identical at any width: tasks run on forked probers with
+	// per-sample seeds and telemetry joins in task order. 0 or 1 keeps
+	// every loop serial.
+	Workers int
+	// Cache, when non-nil, is a content-addressed probe memo shared
+	// across runs in this process (sample text → assembly →
+	// quorum-accepted run output): a repeat discovery replays memoized
+	// probes instead of re-interrogating the toolchain, with traces
+	// byte-identical to the cold run. Share one Cache only between runs
+	// with the same ProbeRetries/QuorumN policy.
+	Cache *probe.Cache
 }
 
 // Counter names the core pipeline maintains on its tracer. The
@@ -137,7 +152,9 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 	probeCfg.Retries = opts.ProbeRetries
 	probeCfg.QuorumN = opts.QuorumN
 	probeCfg.Trace = tr
+	probeCfg.Cache = opts.Cache
 	rig := discovery.NewRigConfig(tc, probeCfg)
+	rig.Workers = opts.Workers
 	rnd := rand.New(rand.NewSource(opts.Seed))
 
 	// Phase 1 — syntax discovery: generate the sample set and bootstrap
@@ -180,6 +197,12 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 	// memory-writer and hardwired-register detection, and the data-flow
 	// graphs behind the checker gate.
 	err = tr.Phase(obs.PhaseMutationAnalysis, func() error {
+		// Per-sample analyses are independent of each other, so they fan
+		// out over the worker pool: each task gets its own engine on a
+		// forked rig with a seed derived from the sample name — not a
+		// position in a shared RNG stream — so outcomes are identical at
+		// any worker count.
+		work := make([]*discovery.Sample, 0, len(samples))
 		for _, s := range samples {
 			if s.Kind == discovery.PStress {
 				continue // register-pressure sample: lexer-only
@@ -195,12 +218,24 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 				d.Skipped[s.Name] = "expected output is valuation-invariant"
 				continue
 			}
-			a, err := engine.Analyze(s)
-			if err != nil {
-				d.Skipped[s.Name] = err.Error()
+			work = append(work, s)
+		}
+		type analyzed struct {
+			a   *mutate.Analysis
+			err error
+		}
+		results := pool.RunRig(rig, len(work), func(i int, sub *discovery.Rig) analyzed {
+			s := work[i]
+			eng := mutate.New(sub, model, rand.New(rand.NewSource(sampleSeed(opts.Seed, s.Name))))
+			a, err := eng.Analyze(s)
+			return analyzed{a, err}
+		})
+		for i, s := range work {
+			if results[i].err != nil {
+				d.Skipped[s.Name] = results[i].err.Error()
 				continue
 			}
-			d.Analyses[s.Name] = a
+			d.Analyses[s.Name] = results[i].a
 		}
 
 		slots, err := d.findSlots()
@@ -310,7 +345,7 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 			}
 		}
 
-		d.Ext = extract.New(model.WordBits, opts.Weights, extract.MBoosts(d.Matches), &rig.Stats)
+		d.Ext = extract.New(model.WordBits, opts.Weights, extract.MBoosts(d.Matches))
 		d.Ext.Tr = tr
 		d.Ext.SignedShifts = opts.SignedShifts
 		if opts.Budget > 0 {
@@ -391,6 +426,15 @@ func retrySeed(seed int64, name string, retry int) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	return seed + 1009*int64(retry) + int64(h.Sum64()&0xffff)
+}
+
+// sampleSeed derives one sample's mutation-analysis seed from the run
+// seed and the sample name alone — no position in a shared RNG stream —
+// so a pooled analysis draws the same values at any worker count.
+func sampleSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed + 1 + int64(h.Sum64()&0xffffff)
 }
 
 // sortedKeys returns m's keys in deterministic order.
@@ -506,7 +550,7 @@ func (d *Discovery) Report() string {
 	for _, sig := range sigs {
 		fmt.Fprintf(&sb, "  %-28s %s\n", sig, d.Ext.Sems[sig])
 	}
-	fmt.Fprintf(&sb, "cost: %s\n", d.Rig.Stats)
+	fmt.Fprintf(&sb, "cost: %s\n", d.Rig.Stats())
 	fmt.Fprintf(&sb, "probe: %s\n", d.ProbeStats)
 	// Resilience numbers come from the tracer's counters — the same
 	// source the trace stream reports — falling back to the snapshot

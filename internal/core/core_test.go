@@ -150,7 +150,7 @@ func TestAlphaSemantics(t *testing.T) {
 
 func TestCostAccounting(t *testing.T) {
 	d := discover(t, x86.New())
-	st := d.Rig.Stats
+	st := d.Rig.Stats()
 	if st.Compiles == 0 || st.Assemblies == 0 || st.Executions == 0 || st.Mutations == 0 {
 		t.Errorf("implausible stats: %v", st)
 	}

@@ -2,11 +2,24 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"strconv"
 	"testing"
 
 	"srcg/internal/obs"
+	"srcg/internal/probe"
 )
+
+// parallelWorkers is the pool width the determinism tests exercise beside
+// the serial baseline. SRCG_WORKERS overrides it (CI runs a matrix).
+func parallelWorkers() int {
+	if s := os.Getenv("SRCG_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
 
 // TestDoubleRunDiscoveryByteIdentical is the determinism contract's
 // end-to-end backstop: two complete discoveries of the same target under
@@ -28,9 +41,10 @@ func TestDoubleRunDiscoveryByteIdentical(t *testing.T) {
 			// Each run gets its own virtual-clock tracer with a JSONL
 			// sink: the full telemetry stream — timestamps included —
 			// must be byte-identical between identical runs.
-			var trace1, trace2 bytes.Buffer
+			var trace1, trace2, trace3 bytes.Buffer
 			tr1 := obs.New(nil, obs.NewJSONLSink(&trace1))
 			tr2 := obs.New(nil, obs.NewJSONLSink(&trace2))
+			tr3 := obs.New(nil, obs.NewJSONLSink(&trace3))
 			d1, err := Discover(tt.ctor(), Options{Seed: 1, Check: true, Trace: tr1})
 			if err != nil {
 				t.Fatalf("first discovery failed: %v", err)
@@ -39,15 +53,34 @@ func TestDoubleRunDiscoveryByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatalf("second discovery failed: %v", err)
 			}
+			// Third run: same options, pooled. The parallel engine's ordered
+			// reduction must make worker count invisible — report, spec, and
+			// every trace byte included.
+			workers := parallelWorkers()
+			d3, err := Discover(tt.ctor(), Options{Seed: 1, Check: true, Trace: tr3, Workers: workers})
+			if err != nil {
+				t.Fatalf("parallel discovery failed: %v", err)
+			}
 			if err := tr1.Flush(); err != nil {
 				t.Fatalf("flush run1 trace: %v", err)
 			}
 			if err := tr2.Flush(); err != nil {
 				t.Fatalf("flush run2 trace: %v", err)
 			}
+			if err := tr3.Flush(); err != nil {
+				t.Fatalf("flush run3 trace: %v", err)
+			}
 			if !bytes.Equal(trace1.Bytes(), trace2.Bytes()) {
 				t.Errorf("JSONL traces differ between identical runs:\n%s",
 					firstDiffLine(trace1.String(), trace2.String()))
+			}
+			if !bytes.Equal(trace1.Bytes(), trace3.Bytes()) {
+				t.Errorf("JSONL trace at workers=%d differs from serial run:\n%s",
+					workers, firstDiffLine(trace1.String(), trace3.String()))
+			}
+			if r1, r3 := d1.Report(), d3.Report(); r1 != r3 {
+				t.Errorf("report at workers=%d differs from serial run:\n%s",
+					workers, firstDiffLine(r1, r3))
 			}
 			if trace1.Len() == 0 {
 				t.Error("trace is empty — the pipeline emitted no telemetry")
@@ -66,12 +99,82 @@ func TestDoubleRunDiscoveryByteIdentical(t *testing.T) {
 				t.Errorf("rendered BEG specs differ between identical runs:\n%s",
 					firstDiffLine(b1, b2))
 			}
-			if d1.Rig.Stats.Executions != d2.Rig.Stats.Executions {
+			if d3.Spec != nil {
+				if b3 := d3.Spec.RenderBEG(d3.Model); b1 != b3 {
+					t.Errorf("rendered BEG spec at workers=%d differs from serial run:\n%s",
+						workers, firstDiffLine(b1, b3))
+				}
+			} else {
+				t.Errorf("parallel run produced no spec: %v", d3.SpecErr)
+			}
+			if d1.Rig.Stats().Executions != d2.Rig.Stats().Executions {
 				t.Errorf("execution counts differ: %d vs %d — the probe sequence "+
-					"itself is nondeterministic", d1.Rig.Stats.Executions,
-					d2.Rig.Stats.Executions)
+					"itself is nondeterministic", d1.Rig.Stats().Executions,
+					d2.Rig.Stats().Executions)
 			}
 		})
+	}
+}
+
+// TestProbeCacheColdWarm pins the probe cache's correctness contract: a
+// discovery against a cold shared cache and a second discovery replaying
+// from the now-warm cache must produce byte-identical reports, specs, and
+// telemetry traces (cache counters are unsealed, so the sealed stream
+// cannot see the cache state), while the warm run demonstrably replays —
+// its probe.cache_hits counter exceeds the cold run's.
+func TestProbeCacheColdWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full discoveries")
+	}
+	cache := probe.NewCache()
+	var cold, warm bytes.Buffer
+	trCold := obs.New(nil, obs.NewJSONLSink(&cold))
+	trWarm := obs.New(nil, obs.NewJSONLSink(&warm))
+	opts := Options{Seed: 1, Workers: parallelWorkers(), Cache: cache}
+
+	o1 := opts
+	o1.Trace = trCold
+	d1, err := Discover(gauntletTargets[0].ctor(), o1)
+	if err != nil {
+		t.Fatalf("cold discovery failed: %v", err)
+	}
+	coldHits := trCold.Counter(probe.CtrCacheHits)
+	if cache.Len() == 0 {
+		t.Fatal("cold run stored nothing in the cache")
+	}
+
+	o2 := opts
+	o2.Trace = trWarm
+	d2, err := Discover(gauntletTargets[0].ctor(), o2)
+	if err != nil {
+		t.Fatalf("warm discovery failed: %v", err)
+	}
+	warmHits := trWarm.Counter(probe.CtrCacheHits)
+	if warmHits == 0 {
+		t.Error("warm run recorded no cache hits")
+	}
+	if warmHits <= coldHits {
+		t.Errorf("warm run hit the cache %d times, cold run %d — the warm run should replay more", warmHits, coldHits)
+	}
+
+	if err := trCold.Flush(); err != nil {
+		t.Fatalf("flush cold trace: %v", err)
+	}
+	if err := trWarm.Flush(); err != nil {
+		t.Fatalf("flush warm trace: %v", err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("JSONL traces differ between cold and warm cache runs:\n%s",
+			firstDiffLine(cold.String(), warm.String()))
+	}
+	if r1, r2 := d1.Report(), d2.Report(); r1 != r2 {
+		t.Errorf("reports differ between cold and warm cache runs:\n%s", firstDiffLine(r1, r2))
+	}
+	if d1.Spec == nil || d2.Spec == nil {
+		t.Fatalf("spec missing: cold=%v warm=%v", d1.SpecErr, d2.SpecErr)
+	}
+	if b1, b2 := d1.Spec.RenderBEG(d1.Model), d2.Spec.RenderBEG(d2.Model); b1 != b2 {
+		t.Errorf("rendered BEG specs differ between cold and warm cache runs:\n%s", firstDiffLine(b1, b2))
 	}
 }
 

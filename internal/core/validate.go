@@ -8,6 +8,7 @@ import (
 	"srcg/internal/cc"
 	"srcg/internal/ir"
 	"srcg/internal/obs"
+	"srcg/internal/pool"
 	"srcg/internal/probe"
 	"srcg/internal/target"
 )
@@ -75,49 +76,48 @@ func (d *Discovery) Validate(tc target.Toolchain, progs []Program) []ValidationR
 }
 
 func (d *Discovery) validate(pr *probe.Prober, backend *beg.Backend, progs []Program) []ValidationResult {
-	out := make([]ValidationResult, 0, len(progs))
-	for _, p := range progs {
+	// Programs validate independently, so they fan out over the pool;
+	// results come back in program order regardless of worker count.
+	workers := 1
+	if d.Rig != nil {
+		workers = d.Rig.Workers
+	}
+	return pool.Run(pr, workers, len(progs), func(i int, sub *probe.Prober) ValidationResult {
+		p := progs[i]
 		r := ValidationResult{Program: p.Name}
 		unit, err := cc.CompileUnit(p.Source)
 		if err != nil {
 			r.Err = fmt.Errorf("front end: %w", err)
-			out = append(out, r)
-			continue
+			return r
 		}
 		want, err := ir.Eval(unit)
 		if err != nil {
 			r.Err = fmt.Errorf("reference eval: %w", err)
-			out = append(out, r)
-			continue
+			return r
 		}
 		r.Want = want
 		text, err := backend.Compile(unit)
 		if err != nil {
 			r.Err = fmt.Errorf("back end: %w", err)
-			out = append(out, r)
-			continue
+			return r
 		}
-		u, err := pr.Assemble(text)
+		u, err := sub.Assemble(text)
 		if err != nil {
 			r.Err = fmt.Errorf("assemble: %w", err)
-			out = append(out, r)
-			continue
+			return r
 		}
-		img, err := pr.Link([]*asm.Unit{u})
+		img, err := sub.Link([]*asm.Unit{u})
 		if err != nil {
 			r.Err = fmt.Errorf("link: %w", err)
-			out = append(out, r)
-			continue
+			return r
 		}
-		got, err := pr.Execute(img)
+		got, err := sub.Execute(img)
 		if err != nil {
 			r.Err = fmt.Errorf("execute: %w", err)
-			out = append(out, r)
-			continue
+			return r
 		}
 		r.Got = got
 		r.OK = got == want
-		out = append(out, r)
-	}
-	return out
+		return r
+	})
 }

@@ -10,6 +10,7 @@ package dfg
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"srcg/internal/discovery"
@@ -262,6 +263,18 @@ func Build(m *discovery.Model, a *mutate.Analysis, slots Slots) (*Graph, error) 
 	}
 	g.wireConditionCodes()
 	annotateResidue(g, a)
+	// The reverse-interpretation search calls Key() for every port of
+	// every step on every candidate trial; resolve each key once here so
+	// the inner loop reads a field instead of formatting a string.
+	for i := range g.Steps {
+		st := &g.Steps[i]
+		for j := range st.Ins {
+			st.Ins[j].KeyName = st.Ins[j].Key()
+		}
+		for j := range st.Outs {
+			st.Outs[j].KeyName = st.Outs[j].Key()
+		}
+	}
 	return g, nil
 }
 
@@ -472,7 +485,7 @@ func (p Port) Key() string {
 	case p.Kind == PHidden:
 		return "h"
 	case p.ArgIdx >= 0:
-		return fmt.Sprintf("a%d", p.ArgIdx)
+		return "a" + strconv.Itoa(p.ArgIdx)
 	default:
 		return "r" + p.Reg
 	}

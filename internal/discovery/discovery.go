@@ -80,10 +80,19 @@ func (i Instr) String() string {
 // Text renders the instruction as an assembly source line.
 func (i Instr) Text() string {
 	var sb strings.Builder
+	i.writeText(&sb)
+	return sb.String()
+}
+
+// writeText renders the instruction into sb without intermediate strings —
+// Rebuild runs once per mutation, so this is allocation-hot.
+func (i Instr) writeText(sb *strings.Builder) {
 	for _, l := range i.Labels {
-		sb.WriteString(l + ":\n")
+		sb.WriteString(l)
+		sb.WriteString(":\n")
 	}
-	sb.WriteString("\t" + i.Op)
+	sb.WriteByte('\t')
+	sb.WriteString(i.Op)
 	for j, a := range i.Args {
 		if j == 0 {
 			sb.WriteString(" ")
@@ -92,7 +101,6 @@ func (i Instr) Text() string {
 		}
 		sb.WriteString(a.Text)
 	}
-	return sb.String()
 }
 
 // Signature identifies an instruction variant by its operand kinds, e.g.
@@ -171,22 +179,47 @@ type Valuation struct {
 // Valuations returns the base valuation followed by the variants.
 func (s *Sample) Valuations() []Valuation {
 	out := make([]Valuation, 0, len(s.Variants)+1)
-	out = append(out, Valuation{A0: s.A0, B: s.B, C: s.C, Expect: s.Expect,
-		InitSource: s.InitSource, ExpectedOut: s.ExpectedOut})
+	out = append(out, s.Valuation(0))
 	return append(out, s.Variants...)
+}
+
+// NumValuations reports how many valuations the sample carries: the base
+// plus the variants.
+func (s *Sample) NumValuations() int { return len(s.Variants) + 1 }
+
+// Valuation returns valuation i without building the full slice — index 0
+// is the base, the rest are the variants. Mutation analysis looks one up
+// per probe, so this path must not allocate.
+func (s *Sample) Valuation(i int) Valuation {
+	if i == 0 {
+		return Valuation{A0: s.A0, B: s.B, C: s.C, Expect: s.Expect,
+			InitSource: s.InitSource, ExpectedOut: s.ExpectedOut}
+	}
+	return s.Variants[i-1]
 }
 
 // Rebuild reassembles the sample's full text with a replacement region.
 func (s *Sample) Rebuild(region []Instr) string {
-	var sb strings.Builder
+	n := 0
 	for _, l := range s.PreLines {
-		sb.WriteString(l + "\n")
-	}
-	for _, ins := range region {
-		sb.WriteString(ins.Text() + "\n")
+		n += len(l) + 1
 	}
 	for _, l := range s.PostLines {
-		sb.WriteString(l + "\n")
+		n += len(l) + 1
+	}
+	var sb strings.Builder
+	sb.Grow(n + 48*len(region))
+	for _, l := range s.PreLines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	for _, ins := range region {
+		ins.writeText(&sb)
+		sb.WriteByte('\n')
+	}
+	for _, l := range s.PostLines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

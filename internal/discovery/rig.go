@@ -7,6 +7,25 @@ import (
 	"srcg/internal/target"
 )
 
+// Counter names for the toolchain-interaction cost story (the paper's
+// §7.2 accounting). Rig.Stats() is a view over exactly these; they live
+// on the tracer — one atomic, race-free home shared with the trace
+// stream — instead of plain struct fields, so two workers sharing a Rig
+// can never lose an increment and Report() can never drift.
+const (
+	CtrSamples    = "discovery.samples"
+	CtrCompiles   = "discovery.compiles"
+	CtrAssemblies = "discovery.assemblies"
+	CtrLinks      = "discovery.links"
+	CtrExecutions = "discovery.executions"
+	CtrMutations  = "discovery.mutations"
+	// Reverse-interpreter search effort (counted by internal/extract).
+	CtrCandidatesTried = "discovery.candidates_tried"
+	CtrSolvedByMatch   = "discovery.solved_by_match"
+	CtrSolvedBySearch  = "discovery.solved_by_search"
+	CtrTimeouts        = "discovery.timeouts"
+)
+
 // Rig wraps a target toolchain with interaction counting and the resilient
 // probe layer: every toolchain call the discovery unit makes flows through
 // one probe.Prober that retries transient faults and re-executes noisy
@@ -14,9 +33,12 @@ import (
 // by Assemble are treated as opaque handles — discovery-side code never
 // inspects them, preserving the black-box discipline.
 type Rig struct {
-	TC    target.Toolchain
-	P     *probe.Prober
-	Stats Stats
+	TC target.Toolchain
+	P  *probe.Prober
+	// Workers is the fan-out width pooled probe work (pool.RunRig) uses
+	// with this rig; 0 or 1 keeps every loop serial. Results and traces
+	// are byte-identical at any width.
+	Workers int
 }
 
 // NewRig wraps a toolchain under the default resilience policy.
@@ -25,6 +47,25 @@ func NewRig(tc target.Toolchain) *Rig { return NewRigConfig(tc, probe.DefaultCon
 // NewRigConfig wraps a toolchain under an explicit resilience policy.
 func NewRigConfig(tc target.Toolchain, cfg probe.Config) *Rig {
 	return &Rig{TC: tc, P: probe.New(tc, cfg)}
+}
+
+// Stats snapshots the toolchain-interaction counters from the tracer.
+// Like probe.Stats it is a read-only view, not an independent tally:
+// Rigs sharing one tracer share the counts.
+func (r *Rig) Stats() Stats {
+	tr := r.Trace()
+	return Stats{
+		Samples:         int(tr.Counter(CtrSamples)),
+		Compiles:        int(tr.Counter(CtrCompiles)),
+		Assemblies:      int(tr.Counter(CtrAssemblies)),
+		Links:           int(tr.Counter(CtrLinks)),
+		Executions:      int(tr.Counter(CtrExecutions)),
+		Mutations:       int(tr.Counter(CtrMutations)),
+		CandidatesTried: int(tr.Counter(CtrCandidatesTried)),
+		SolvedByMatch:   int(tr.Counter(CtrSolvedByMatch)),
+		SolvedBySearch:  int(tr.Counter(CtrSolvedBySearch)),
+		Timeouts:        int(tr.Counter(CtrTimeouts)),
+	}
 }
 
 // ProbeStats snapshots the probe layer's resilience counters.
@@ -37,13 +78,13 @@ func (r *Rig) Trace() *obs.Tracer { return r.P.Tracer() }
 
 // CompileAsm runs the target C compiler on one translation unit.
 func (r *Rig) CompileAsm(src string) (string, error) {
-	r.Stats.Compiles++
+	r.Trace().Count(CtrCompiles, 1)
 	return r.P.CompileC(src)
 }
 
 // Assemble runs the target assembler.
 func (r *Rig) Assemble(text string) (*asm.Unit, error) {
-	r.Stats.Assemblies++
+	r.Trace().Count(CtrAssemblies, 1)
 	return r.P.Assemble(text)
 }
 
@@ -57,12 +98,12 @@ func (r *Rig) Accepts(text string) bool {
 // program's stdout. An execution fault is an error (mutation analyses treat
 // faults as "behaved differently").
 func (r *Rig) LinkRun(units ...*asm.Unit) (string, error) {
-	r.Stats.Links++
+	r.Trace().Count(CtrLinks, 1)
 	img, err := r.P.Link(units)
 	if err != nil {
 		return "", err
 	}
-	r.Stats.Executions++
+	r.Trace().Count(CtrExecutions, 1)
 	return r.P.Execute(img)
 }
 

@@ -17,6 +17,7 @@ import (
 	"srcg/internal/gen"
 	"srcg/internal/lexer"
 	"srcg/internal/mutate"
+	"srcg/internal/obs"
 	"srcg/internal/target"
 	"srcg/internal/target/alpha"
 	"srcg/internal/target/mips"
@@ -438,7 +439,7 @@ func e10(s *Suite) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := d.Rig.Stats
+		st := d.Rig.Stats()
 		t.rowf("%-6s %-7d %-7d %-9d %-10d %d", arch,
 			len(d.Outcome.Solved), len(d.Outcome.Failed), st.SolvedByMatch, st.SolvedBySearch, st.CandidatesTried)
 		metrics[arch+".solved"] = float64(len(d.Outcome.Solved))
@@ -561,7 +562,7 @@ func e15(s *Suite) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := d.Rig.Stats
+		st := d.Rig.Stats()
 		t.rowf("%-6s %9d %9d %11d %11d %10d", arch, st.Compiles, st.Assemblies, st.Links, st.Executions, st.Mutations)
 		metrics[arch+".executions"] = float64(st.Executions)
 		metrics[arch+".assemblies"] = float64(st.Assemblies)
@@ -595,11 +596,15 @@ func e16(s *Suite) (*Result, error) {
 	metrics := map[string]float64{}
 	t.rowf("%-14s %-10s %-8s %s", "configuration", "candidates", "solved", "failed")
 	for _, cfg := range configs {
-		stats := &discovery.Stats{}
-		x := extract.New(d.Model.WordBits, cfg.w, extract.MBoosts(d.Matches), stats)
+		// A private tracer scopes the candidates-tried counter to this
+		// configuration without disturbing the discovery run's telemetry.
+		tr := obs.New(obs.NewVirtualClock(), nil)
+		x := extract.New(d.Model.WordBits, cfg.w, extract.MBoosts(d.Matches))
+		x.Tr = tr
 		out := x.SolveAll(d.ExtractionGraphs())
-		t.rowf("%-14s %-10d %-8d %d", cfg.name, stats.CandidatesTried, len(out.Solved), len(out.Failed))
-		metrics[cfg.metric] = float64(stats.CandidatesTried)
+		tried := tr.Counter(extract.CtrCandidatesTried)
+		t.rowf("%-14s %-10d %-8d %d", cfg.name, tried, len(out.Solved), len(out.Failed))
+		metrics[cfg.metric] = float64(tried)
 	}
 	t.rowf("\nThe paper's claim (§5.2.2): static likelihoods beat blind enumeration;")
 	t.rowf("graph-match evidence (M) carries the most weight, the mnemonic (N) the least.")

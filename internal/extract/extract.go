@@ -2,8 +2,9 @@ package extract
 
 import (
 	"container/heap"
-	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"srcg/internal/dfg"
 	"srcg/internal/discovery"
@@ -11,10 +12,12 @@ import (
 	"srcg/internal/sem"
 )
 
-// Telemetry names the extractor maintains on its tracer.
+// Telemetry names the extractor maintains on its tracer. The search-cost
+// counters are the discovery.* names Rig.Stats() views, so the extractor
+// and Report() share one race-free tally.
 const (
 	// CtrCandidatesTried counts reverse-interpretation candidates run.
-	CtrCandidatesTried = "extract.candidates_tried"
+	CtrCandidatesTried = discovery.CtrCandidatesTried
 	// HistCandidatesPerSolve is the histogram of candidates one solve
 	// attempt consumed — the shape of the paper's search-cost story.
 	HistCandidatesPerSolve = "extract.candidates_per_solve"
@@ -32,7 +35,6 @@ type Extractor struct {
 	// ("a time-out function interrupts the interpreter and the sample is
 	// discarded").
 	Budget int
-	Stats  *discovery.Stats
 	// SignedShifts admits the signed-count shift primitive (ash) to the
 	// candidate vocabulary. This is an extension beyond the paper: with it
 	// the VAX's bidirectional ashl — which the paper reports as unhandled
@@ -58,14 +60,14 @@ type Extractor struct {
 // New creates an extractor with default settings. A debugging harness
 // that wants search diagnostics sets Trace on the returned value — there
 // is deliberately no package-level hook: discoveries running concurrently
-// must not share mutable state.
-func New(bits int, w Weights, mboosts map[string]map[string]float64, stats *discovery.Stats) *Extractor {
+// must not share mutable state. Search-effort counters land on Tr (set it
+// after construction; a nil tracer still accepts them as no-ops).
+func New(bits int, w Weights, mboosts map[string]map[string]float64) *Extractor {
 	return &Extractor{
 		Bits:    bits,
 		W:       w,
 		MBoosts: mboosts,
 		Budget:  30000,
-		Stats:   stats,
 		Sems:    map[string]*sem.Sem{},
 	}
 }
@@ -137,9 +139,7 @@ func (x *Extractor) SolveAll(graphs []*dfg.Graph) Outcome {
 	}
 	for _, g := range remaining {
 		out.Failed = append(out.Failed, g.Sample.Name)
-		if x.Stats != nil {
-			x.Stats.Timeouts++
-		}
+		x.Tr.Count(discovery.CtrTimeouts, 1)
 	}
 	return out
 }
@@ -217,9 +217,7 @@ func (x *Extractor) solve(g *dfg.Graph) solveResult {
 	if len(needs) == 0 {
 		ok, err := Run(g, x.Sems, x.Bits)
 		if ok && err == nil {
-			if x.Stats != nil {
-				x.Stats.SolvedByMatch++ // solved without new search
-			}
+			x.Tr.Count(discovery.CtrSolvedByMatch, 1) // solved without new search
 			return solveOK
 		}
 		if err != nil {
@@ -302,19 +300,16 @@ func (x *Extractor) search(g *dfg.Graph, needs []need, fresh bool) solveResult {
 	for h.Len() > 0 && budget > 0 {
 		c := heap.Pop(h).(combo)
 		budget--
-		if x.Stats != nil {
-			x.Stats.CandidatesTried++
-		}
 		x.Tr.Count(CtrCandidatesTried, 1)
 		trial := x.overlay(needs, lists, c.idx)
 		if x.Trace != nil && x.Budget-budget <= 8 {
-			ok, err := Run(g, trial, x.Bits)
+			ok, err := run(g, trial, x.Bits)
 			x.Trace("%s try %v score=%.2f -> ok=%v err=%v", g.Sample.Name, c.idx, c.score, ok, err)
 			for i, n := range needs {
 				x.Trace("   %s = %s", n.sig, lists[i][c.idx[i]].s)
 			}
 		}
-		if ok, err := Run(g, trial, x.Bits); ok && err == nil && x.consistent(trial, needs) {
+		if ok, err := run(g, trial, x.Bits); ok && err == nil && x.consistent(trial, needs) {
 			// Commit.
 			for i, n := range needs {
 				x.Sems[n.sig] = mergeSem(x.Sems[n.sig], lists[i][c.idx[i]].s)
@@ -322,9 +317,7 @@ func (x *Extractor) search(g *dfg.Graph, needs []need, fresh bool) solveResult {
 					x.Trace("commit %s: %s = %s", g.Sample.Name, n.sig, x.Sems[n.sig])
 				}
 			}
-			if x.Stats != nil {
-				x.Stats.SolvedBySearch++
-			}
+			x.Tr.Count(discovery.CtrSolvedBySearch, 1)
 			return solveOK
 		}
 		for d := range c.idx {
@@ -362,20 +355,46 @@ func (x *Extractor) samplePrims(s *discovery.Sample) map[string]bool {
 	return out
 }
 
-// overlay builds a trial semantics map: fixed semantics plus this combo.
-func (x *Extractor) overlay(needs []need, lists [][]scored, idx []int) map[string]*sem.Sem {
-	trial := make(map[string]*sem.Sem, len(x.Sems)+len(needs))
-	for k, v := range x.Sems {
-		trial[k] = v
+// trialSems is a trial semantics lookup: the combo's assignments shadow
+// the committed base. Layering instead of copying matters because the
+// best-first search interprets one trial per candidate combo, and the
+// committed map grows with every solved signature.
+type trialSems struct {
+	base map[string]*sem.Sem
+	over map[string]*sem.Sem
+}
+
+func (t trialSems) lookup(sig string) (*sem.Sem, bool) {
+	if s, ok := t.over[sig]; ok {
+		return s, true
 	}
+	s, ok := t.base[sig]
+	return s, ok
+}
+
+// overlay builds a trial semantics: fixed semantics plus this combo.
+func (x *Extractor) overlay(needs []need, lists [][]scored, idx []int) trialSems {
+	over := make(map[string]*sem.Sem, len(needs))
 	for i, n := range needs {
-		trial[n.sig] = mergeSem(trial[n.sig], lists[i][idx[i]].s)
+		prev := over[n.sig]
+		if prev == nil {
+			prev = x.Sems[n.sig]
+		}
+		over[n.sig] = mergeSem(prev, lists[i][idx[i]].s)
 	}
-	return trial
+	return trialSems{base: x.Sems, over: over}
 }
 
 // mergeSem combines a partial existing semantics with newly found trees.
+// Sems are immutable once built, so a one-sided merge aliases its input
+// instead of copying — the search merges one per candidate combo.
 func mergeSem(base, add *sem.Sem) *sem.Sem {
+	if base == nil && add != nil {
+		return add
+	}
+	if add == nil && base != nil {
+		return base
+	}
 	out := &sem.Sem{Outs: map[string]*sem.Tree{}}
 	if base != nil {
 		for k, v := range base.Outs {
@@ -398,7 +417,7 @@ func mergeSem(base, add *sem.Sem) *sem.Sem {
 // signatures AND is fully decidable under the trial semantics — solved or
 // not ("choosing new interpretations ... until every sample produces the
 // required result", §5.2; conflicts like mul(2,1) vs div(2,1) are §5.2.1).
-func (x *Extractor) consistent(trial map[string]*sem.Sem, needs []need) bool {
+func (x *Extractor) consistent(trial trialSems, needs []need) bool {
 	usesNeed := func(g *dfg.Graph) bool {
 		for i := range g.Steps {
 			for _, n := range needs {
@@ -412,7 +431,7 @@ func (x *Extractor) consistent(trial map[string]*sem.Sem, needs []need) bool {
 	decidable := func(g *dfg.Graph) bool {
 		for i := range g.Steps {
 			st := &g.Steps[i]
-			s := trial[st.Sig]
+			s, _ := trial.lookup(st.Sig)
 			if s == nil {
 				return false
 			}
@@ -437,7 +456,7 @@ func (x *Extractor) consistent(trial map[string]*sem.Sem, needs []need) bool {
 		// sample (mod.a_a's a%a=0 masks the hi-register channel because 0
 		// is also the reset value) — and such samples are left to fail
 		// alone, as the paper discards unexplainable samples (§5.2.2).
-		if ok, err := Run(g, trial, x.Bits); !ok && err == nil {
+		if ok, err := run(g, trial, x.Bits); !ok && err == nil {
 			if x.Trace != nil {
 				x.Trace("   inconsistent with %s", g.Sample.Name)
 			}
@@ -455,8 +474,18 @@ func totalScore(lists [][]scored, idx []int) float64 {
 	return t
 }
 
+// key encodes a combo index vector as a map key. The search visits (and
+// re-checks) thousands of combos, so this avoids fmt's reflection.
 func key(idx []int) string {
-	return fmt.Sprint(idx)
+	var sb strings.Builder
+	sb.Grow(4 * len(idx))
+	for i, v := range idx {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
 }
 
 type combo struct {

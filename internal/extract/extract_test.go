@@ -5,6 +5,7 @@ import (
 
 	"srcg/internal/dfg"
 	"srcg/internal/discovery"
+	"srcg/internal/obs"
 	"srcg/internal/sem"
 )
 
@@ -134,7 +135,7 @@ func TestRunUnknownSig(t *testing.T) {
 }
 
 func TestSolveMoveAndAdd(t *testing.T) {
-	x := New(32, DefaultWeights, nil, nil)
+	x := New(32, DefaultWeights, nil)
 	out := x.SolveAll([]*dfg.Graph{moveGraph(), addGraph()})
 	if len(out.Failed) != 0 {
 		t.Fatalf("failed: %v", out.Failed)
@@ -156,7 +157,7 @@ func TestSolveBranches(t *testing.T) {
 		condGraph(200, 100, 7, 99), // not taken: a = 99
 		condGraph(150, 150, 7, 99), // equal: not taken
 	}
-	x := New(32, DefaultWeights, nil, nil)
+	x := New(32, DefaultWeights, nil)
 	out := x.SolveAll(graphs)
 	if len(out.Failed) != 0 {
 		t.Fatalf("failed: %v", out.Failed)
@@ -201,14 +202,15 @@ func TestMatchSkipsUnaryAndConst(t *testing.T) {
 // TestLikelihoodOrdering verifies the E16 premise: default weights try far
 // fewer candidates than a blind search on the same problem.
 func TestLikelihoodOrdering(t *testing.T) {
-	run := func(w Weights, boosts map[string]map[string]float64) int {
-		st := &discovery.Stats{}
-		x := New(32, w, boosts, st)
+	run := func(w Weights, boosts map[string]map[string]float64) int64 {
+		tr := obs.New(obs.NewVirtualClock(), nil)
+		x := New(32, w, boosts)
+		x.Tr = tr
 		out := x.SolveAll([]*dfg.Graph{moveGraph(), addGraph()})
 		if len(out.Failed) != 0 {
 			t.Fatalf("failed: %v", out.Failed)
 		}
-		return st.CandidatesTried
+		return tr.Counter(CtrCandidatesTried)
 	}
 	m := Match(addGraph())
 	guided := run(DefaultWeights, MBoosts([]*MatchResult{m}))
@@ -255,7 +257,7 @@ func TestRunUndefinedRegisterRead(t *testing.T) {
 }
 
 func TestMissingReportsPartialSems(t *testing.T) {
-	x := New(32, DefaultWeights, nil, nil)
+	x := New(32, DefaultWeights, nil)
 	g := moveGraph()
 	if n := len(x.missing(g)); n != 2 {
 		t.Errorf("missing = %d, want 2", n)
@@ -312,7 +314,7 @@ func shiftGraph(name string, k, b, a0 int64) *dfg.Graph {
 func TestRecoverySearchGeneralizes(t *testing.T) {
 	left := shiftGraph("shl.b_K", 4, 2100, 99)
 	right := shiftGraph("shr.b_K", -3, 4096, 98)
-	x := New(32, DefaultWeights, nil, nil)
+	x := New(32, DefaultWeights, nil)
 	x.SignedShifts = true
 	out := x.SolveAll([]*dfg.Graph{left, right})
 	if len(out.Failed) != 0 {
@@ -330,7 +332,7 @@ func TestRecoverySearchGeneralizes(t *testing.T) {
 func TestRecoverySearchPaperFaithful(t *testing.T) {
 	left := shiftGraph("shl.b_K", 4, 2100, 99)
 	right := shiftGraph("shr.b_K", -3, 4096, 98)
-	x := New(32, DefaultWeights, nil, nil)
+	x := New(32, DefaultWeights, nil)
 	out := x.SolveAll([]*dfg.Graph{left, right})
 	if len(out.Solved) != 1 || out.Solved[0] != "shl.b_K" {
 		t.Errorf("solved = %v, want only shl.b_K", out.Solved)

@@ -27,7 +27,15 @@ var undef = sem.Value{Addr: "\x00undef"}
 // value-symmetric misinterpretations (a "negated-load / negated-store"
 // pair explains one valuation of a=b, but not three).
 func Run(g *dfg.Graph, sems map[string]*sem.Sem, bits int) (bool, error) {
-	for _, v := range g.Sample.Valuations() {
+	return run(g, trialSems{base: sems}, bits)
+}
+
+// run is Run over a layered trial: the search interprets thousands of
+// candidate combos per sample, and the overlay spares it a full map copy
+// for each one.
+func run(g *dfg.Graph, sems trialSems, bits int) (bool, error) {
+	for i := 0; i < g.Sample.NumValuations(); i++ {
+		v := g.Sample.Valuation(i)
 		ok, err := runOne(g, sems, bits, v.A0, v.B, v.C, v.Expect)
 		if !ok || err != nil {
 			return ok, err
@@ -36,7 +44,7 @@ func Run(g *dfg.Graph, sems map[string]*sem.Sem, bits int) (bool, error) {
 	return true, nil
 }
 
-func runOne(g *dfg.Graph, sems map[string]*sem.Sem, bits int, a0, b, c, expect int64) (ok bool, err error) {
+func runOne(g *dfg.Graph, sems trialSems, bits int, a0, b, c, expect int64) (ok bool, err error) {
 	st := sem.NewState(bits)
 	st.Mem[g.SlotA] = truncTo(a0, bits)
 	st.Mem[g.SlotB] = truncTo(b, bits)
@@ -50,7 +58,7 @@ func runOne(g *dfg.Graph, sems map[string]*sem.Sem, bits int, a0, b, c, expect i
 			return false, fmt.Errorf("extract: interpretation did not terminate")
 		}
 		stp := &g.Steps[pc]
-		s, okSem := sems[stp.Sig]
+		s, okSem := sems.lookup(stp.Sig)
 		if !okSem {
 			return false, &ErrUnknown{Sig: stp.Sig}
 		}

@@ -29,7 +29,7 @@ func Bootstrap(rig *discovery.Rig, samples []*discovery.Sample) (*discovery.Mode
 		return nil, err
 	}
 
-	rig.Stats.Samples += len(samples)
+	rig.Trace().Count(discovery.CtrSamples, int64(len(samples)))
 	texts := make([]string, 0, len(samples)+1)
 	for _, s := range samples {
 		text, err := rig.CompileAsm(s.CSource)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"srcg/internal/discovery"
+	"srcg/internal/pool"
 )
 
 // DiscoverImmRanges probes, for every instruction signature that carries a
@@ -18,6 +19,18 @@ func DiscoverImmRanges(rig *discovery.Rig, m *discovery.Model, texts []string) {
 	if m.ImmRange == nil {
 		m.ImmRange = map[string][2]int64{}
 	}
+	// Collect one bisection job per distinct signature in deterministic scan
+	// order, then fan the independent bisections out over the probe pool.
+	// Each job gets its own copy of the line slice: probeRange substitutes
+	// into lines[li] in place, so sharing one slice across workers would
+	// race.
+	type job struct {
+		key   string
+		lines []string
+		li    int
+		tok   string
+	}
+	var jobs []job
 	probed := map[string]bool{}
 	for _, text := range texts {
 		lines := strings.Split(text, "\n")
@@ -37,11 +50,22 @@ func DiscoverImmRanges(rig *discovery.Rig, m *discovery.Model, texts []string) {
 					continue
 				}
 				probed[key] = true
-				lo, hi, ok := probeRange(rig, m, lines, li, argText)
-				if ok {
-					m.ImmRange[key] = [2]int64{lo, hi}
-				}
+				jobs = append(jobs, job{key, append([]string(nil), lines...), li, argText})
 			}
+		}
+	}
+	type found struct {
+		lo, hi int64
+		ok     bool
+	}
+	results := pool.RunRig(rig, len(jobs), func(i int, sub *discovery.Rig) found {
+		j := jobs[i]
+		lo, hi, ok := probeRange(sub, m, j.lines, j.li, j.tok)
+		return found{lo, hi, ok}
+	})
+	for i, j := range jobs {
+		if results[i].ok {
+			m.ImmRange[j.key] = [2]int64{results[i].lo, results[i].hi}
 		}
 	}
 }

@@ -622,7 +622,7 @@ func (e *Engine) DetectHardwired(a *Analysis) map[string]int64 {
 		}
 		var value int64
 		hard := true
-		for vi := range a.Sample.Valuations() {
+		for vi := 0; vi < a.Sample.NumValuations(); vi++ {
 			outStr, err := e.OutputOf(a.Sample, mut, vi)
 			if err != nil {
 				hard = false
@@ -640,7 +640,7 @@ func (e *Engine) DetectHardwired(a *Analysis) map[string]int64 {
 				break
 			}
 			// A normal register prints the moved value b.
-			if v == a.Sample.Valuations()[vi].B {
+			if v == a.Sample.Valuation(vi).B {
 				hard = false
 				break
 			}

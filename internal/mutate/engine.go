@@ -11,13 +11,27 @@ package mutate
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"strings"
 
 	"srcg/internal/asm"
 	"srcg/internal/discovery"
 )
+
+// FNV-64a, inlined over strings: the mutation cache keys a full rebuilt
+// sample text per probe, and hash/fnv would force a []byte copy of it.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvAdd(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
 
 // Telemetry names the mutation engine maintains on the rig's tracer: the
 // mutation cache's hit/miss split, the denominator of the probe-savings
@@ -70,7 +84,7 @@ func (e *Engine) initUnit(src string) (*asm.Unit, error) {
 // expected outputs. Any failure (assembly rejection, link error, runtime
 // fault, wrong output) counts as "behaved differently".
 func (e *Engine) SameOutput(s *discovery.Sample, region []discovery.Instr) bool {
-	for i := range s.Valuations() {
+	for i := 0; i < s.NumValuations(); i++ {
 		if !e.SameOutputVal(s, region, i) {
 			return false
 		}
@@ -82,19 +96,17 @@ func (e *Engine) SameOutput(s *discovery.Sample, region []discovery.Instr) bool 
 // value-specific attribution probes (§4.4's repair insertions) use the
 // base valuation only, since their repair constants are drawn from it.
 func (e *Engine) SameOutputVal(s *discovery.Sample, region []discovery.Instr, val int) bool {
-	v := s.Valuations()[val]
+	v := s.Valuation(val)
 	text := s.Rebuild(region)
-	h := fnv.New64a()
-	h.Write([]byte(s.Name))
-	h.Write([]byte{byte(val)})
-	h.Write([]byte(text))
-	key := h.Sum64()
+	key := fnvAdd(fnvOffset64, s.Name)
+	key = (key ^ uint64(byte(val))) * fnvPrime64
+	key = fnvAdd(key, text)
 	if cached, ok := e.cache[key]; ok {
 		e.Rig.Trace().Count(CtrCacheHits, 1)
 		return cached
 	}
 	e.Rig.Trace().Count(CtrCacheMisses, 1)
-	e.Rig.Stats.Mutations++
+	e.Rig.Trace().Count(discovery.CtrMutations, 1)
 	same := func() bool {
 		u, err := e.Rig.Assemble(text)
 		if err != nil {
@@ -115,7 +127,7 @@ func (e *Engine) SameOutputVal(s *discovery.Sample, region []discovery.Instr, va
 // and returns the raw stdout (for analyses that compare against something
 // other than the original output, e.g. the Synthesizer's jump probe).
 func (e *Engine) OutputOf(s *discovery.Sample, region []discovery.Instr, val int) (string, error) {
-	v := s.Valuations()[val]
+	v := s.Valuation(val)
 	u, err := e.Rig.Assemble(s.Rebuild(region))
 	if err != nil {
 		return "", err
@@ -124,7 +136,7 @@ func (e *Engine) OutputOf(s *discovery.Sample, region []discovery.Instr, val int
 	if err != nil {
 		return "", err
 	}
-	e.Rig.Stats.Mutations++
+	e.Rig.Trace().Count(discovery.CtrMutations, 1)
 	return e.Rig.LinkRun(u, initU)
 }
 

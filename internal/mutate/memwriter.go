@@ -79,7 +79,7 @@ func (e *Engine) FindMemWriter(a *Analysis, storeSeq []discovery.Instr, lit int6
 	// The store may sit on a conditionally executed path (a guarded
 	// assignment's taken direction skips it), so each valuation is probed
 	// and the latest writer wins.
-	for val := range a.Sample.Valuations() {
+	for val := 0; val < a.Sample.NumValuations(); val++ {
 		for pos := 0; pos <= len(a.Region); pos++ {
 			// Never split a delay-slotted pair.
 			if pos > 0 && a.Slotted[pos-1] {

@@ -23,6 +23,16 @@ func (h *Hist) observe(v int64) {
 	h.buckets[bucketOf(v)]++
 }
 
+// merge folds a drained snapshot (a fork's histogram, via Tracer.Join)
+// into h.
+func (h *Hist) merge(s HistStat) {
+	h.count += s.Count
+	h.sum += s.Sum
+	for i, v := range s.Buckets {
+		h.buckets[i] += v
+	}
+}
+
 func bucketOf(v int64) int {
 	if v <= 0 {
 		return 0

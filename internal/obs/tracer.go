@@ -45,6 +45,9 @@ type Tracer struct {
 	clock  Clock
 	sinks  []Sink
 	events int64
+	// rec is set on tracers made by Fork: the recording sink Drain
+	// packages into a Replay.
+	rec *Recorder
 
 	stack    []spanFrame
 	counters map[string]int64
@@ -350,16 +353,25 @@ func (t *Tracer) PhaseSummary() []PhaseStat {
 // Flush seals the stream: final counter values and histogram snapshots
 // are emitted (sorted by name, so the tail of the stream is as
 // deterministic as the body), then every sink is flushed. Call once,
-// after the traced work is done.
+// after the traced work is done. Unsealed names — strategy counters like
+// the probe cache's hit/miss split, which legitimately differ between a
+// cold and a warm run — are reported through Counters()/Hists() only and
+// never enter the sealed stream.
 func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	for _, c := range t.countersLocked() {
+		if Unsealed(c.Name) {
+			continue
+		}
 		t.emit(Event{T: t.clock.Now(), Kind: KCounter, Name: c.Name, N: c.Value})
 	}
 	for _, h := range t.histsLocked() {
+		if Unsealed(h.Name) {
+			continue
+		}
 		t.emit(Event{T: t.clock.Now(), Kind: KHist, Name: h.Name,
 			N: h.Count, Dur: time.Duration(h.Sum), Detail: h.bucketString()})
 	}

@@ -1,0 +1,116 @@
+// Package pool is the parallel probe engine's fan-out seam — the one
+// package directory in the analysis tree allowed to own goroutines (the
+// gohygiene analyzer audits exactly this seam). It fans independent units
+// of probe work across Workers goroutines against forked probers and
+// reduces the results in task order.
+//
+// Determinism contract (DESIGN §10): every task runs on a Prober fork —
+// its own virtual clock, counters, and noisy-latch snapshot — so a task's
+// behavior and telemetry are a pure function of its inputs, independent
+// of scheduling. The parent joins the forks' bundles strictly in task
+// index order, and the serial path (workers ≤ 1) drives the identical
+// fork/join machinery, so discovery results and traces are byte-identical
+// at any worker count. Fault injection (internal/faulty) schedules faults
+// by global call order and is the one declared exception: determinism
+// under injected faults holds at workers=1 only.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"srcg/internal/discovery"
+	"srcg/internal/probe"
+)
+
+// Counter names the pool maintains on the parent prober's tracer. They
+// are unsealed (obs.Unsealed): strategy numbers, visible in reports but
+// excluded from the sealed trace so worker count cannot perturb it.
+const (
+	// CtrBatches counts Run invocations (one fan-out each).
+	CtrBatches = "probe.pool_batches"
+	// CtrTasks counts tasks fanned out across all batches.
+	CtrTasks = "probe.pool_tasks"
+	// CtrWorkers accumulates the effective worker count per batch; with
+	// CtrBatches it yields the mean fan-out width.
+	CtrWorkers = "probe.pool_workers"
+)
+
+// Run fans n independent tasks over workers goroutines. Each task
+// receives its index and a forked Prober; results land in task order, and
+// each fork's telemetry joins the parent in task order too (a completed
+// task's bundle is joined as soon as all lower-indexed tasks have
+// joined). workers ≤ 1, or n < 2, runs the tasks inline on the same
+// fork/join path.
+func Run[R any](p *probe.Prober, workers, n int, task func(i int, sub *probe.Prober) R) []R {
+	out := make([]R, n)
+	if n == 0 {
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tr := p.Tracer()
+	tr.Count(CtrBatches, 1)
+	tr.Count(CtrTasks, int64(n))
+	tr.Count(CtrWorkers, int64(workers))
+
+	// Fork every task's prober up front: each fork snapshots the parent's
+	// noisy latch at batch start, so the snapshot a task sees cannot
+	// depend on which earlier tasks happened to finish first.
+	subs := make([]*probe.Prober, n)
+	for i := range subs {
+		subs[i] = p.Fork()
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = task(i, subs[i])
+			p.Join(subs[i])
+		}
+		return out
+	}
+
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer close(done[i])
+					out[i] = task(i, subs[i])
+				}()
+			}
+		}()
+	}
+	// Ordered reduction: join bundle i only after bundles 0..i-1.
+	for i := 0; i < n; i++ {
+		<-done[i]
+		p.Join(subs[i])
+	}
+	wg.Wait()
+	return out
+}
+
+// RunRig is Run at the Rig level: each task receives a single-worker Rig
+// wrapping the forked prober, so existing probe helpers (Accepts,
+// LinkRun, the mutation engine) work unchanged inside a task. The fan-out
+// width is r.Workers.
+func RunRig[R any](r *discovery.Rig, n int, task func(i int, sub *discovery.Rig) R) []R {
+	return Run(r.P, r.Workers, n, func(i int, sub *probe.Prober) R {
+		return task(i, &discovery.Rig{TC: r.TC, P: sub, Workers: 1})
+	})
+}

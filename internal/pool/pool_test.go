@@ -1,0 +1,145 @@
+package pool
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"srcg/internal/asm"
+	"srcg/internal/obs"
+	"srcg/internal/probe"
+	"srcg/internal/target"
+)
+
+// pure is a stateless, thread-safe toolchain: every answer is a pure
+// function of the call's inputs, so it is safe under any worker count
+// (unlike a scripted toolchain, whose answers depend on global call
+// order).
+type pure struct{}
+
+func (pure) Name() string { return "pure" }
+
+func (pure) CompileC(src string) (string, error) {
+	if strings.Contains(src, "bad") {
+		return "", fmt.Errorf("cc: cannot compile %q", src)
+	}
+	return "asm<" + src + ">", nil
+}
+
+func (pure) Assemble(text string) (*asm.Unit, error) {
+	return &asm.Unit{Globals: []string{text}}, nil
+}
+
+func (pure) Link(units []*asm.Unit) (*asm.Image, error) {
+	var sb strings.Builder
+	for _, u := range units {
+		sb.WriteString(u.Globals[0])
+	}
+	return &asm.Image{Arch: sb.String()}, nil
+}
+
+func (pure) Execute(img *asm.Image) (string, error) {
+	return "ran " + img.Arch + "\n", nil
+}
+
+var _ target.Toolchain = pure{}
+
+// runBatch runs n independent probe tasks at the given worker count and
+// returns the resulting JSONL telemetry bytes plus the final stats.
+func runBatch(t *testing.T, workers, n int) ([]byte, probe.Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := probe.DefaultConfig()
+	cfg.Trace = obs.New(nil, obs.NewJSONLSink(&buf))
+	p := probe.New(pure{}, cfg)
+	outs := Run(p, workers, n, func(i int, sub *probe.Prober) string {
+		src := fmt.Sprintf("main(){int a=%d;}", i)
+		text, err := sub.CompileC(src)
+		if err != nil {
+			t.Errorf("task %d compile: %v", i, err)
+			return ""
+		}
+		u, err := sub.Assemble(text)
+		if err != nil {
+			t.Errorf("task %d assemble: %v", i, err)
+			return ""
+		}
+		img, err := sub.Link([]*asm.Unit{u})
+		if err != nil {
+			t.Errorf("task %d link: %v", i, err)
+			return ""
+		}
+		out, err := sub.Execute(img)
+		if err != nil {
+			t.Errorf("task %d execute: %v", i, err)
+			return ""
+		}
+		return out
+	})
+	for i, out := range outs {
+		want := fmt.Sprintf("ran asm<main(){int a=%d;}>\n", i)
+		if out != want {
+			t.Errorf("workers=%d task %d = %q, want %q", workers, i, out, want)
+		}
+	}
+	if err := cfg.Trace.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes(), p.Stats()
+}
+
+// TestRunByteIdenticalAcrossWorkerCounts is the pool's determinism
+// contract in miniature: the same task batch at workers 1, 2, 4, and 16
+// must produce identical results, identical stats, and byte-identical
+// telemetry — ordered reduction makes scheduling invisible.
+func TestRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n = 12
+	base, baseStats := runBatch(t, 1, n)
+	if len(base) == 0 {
+		t.Fatal("serial run emitted no telemetry")
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, gotStats := runBatch(t, workers, n)
+		if !bytes.Equal(base, got) {
+			t.Errorf("workers=%d trace differs from serial trace", workers)
+		}
+		if gotStats != baseStats {
+			t.Errorf("workers=%d stats = %+v, serial %+v", workers, gotStats, baseStats)
+		}
+	}
+}
+
+// TestRunPropagatesNoisyLatch: a fork that catches the machine lying must
+// latch the parent on join.
+func TestRunPropagatesNoisyLatch(t *testing.T) {
+	cfg := probe.DefaultConfig()
+	p := probe.New(&noisyOnce{}, cfg)
+	Run(p, 4, 8, func(i int, sub *probe.Prober) struct{} {
+		sub.Execute(&asm.Image{Entry: i})
+		return struct{}{}
+	})
+	if !p.Noisy() {
+		t.Error("a quorum conflict inside a pooled task must latch the parent prober")
+	}
+}
+
+// noisyOnce disagrees on the first run of image 3 and agrees thereafter.
+// Image 3 is only ever executed inside task 3's quorum loop — a single
+// goroutine — so the counter needs no lock.
+type noisyOnce struct{ seen int }
+
+func (*noisyOnce) Name() string                           { return "noisyOnce" }
+func (*noisyOnce) CompileC(src string) (string, error)    { return src, nil }
+func (*noisyOnce) Assemble(t string) (*asm.Unit, error)   { return &asm.Unit{}, nil }
+func (*noisyOnce) Link(u []*asm.Unit) (*asm.Image, error) { return &asm.Image{}, nil }
+
+func (n *noisyOnce) Execute(img *asm.Image) (string, error) {
+	if img.Entry == 3 {
+		n.seen++
+		if n.seen == 1 {
+			return "garbled\n", nil
+		}
+	}
+	return "ok\n", nil
+}

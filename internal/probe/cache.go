@@ -1,0 +1,153 @@
+// Content-addressed probe cache: the memo the parallel probe engine and
+// repeat discoveries hit instead of the toolchain. The unit of caching is
+// the logical probe — one fully resolved retry+quorum interaction — keyed
+// by the operation, the resilience policy, and the content flowing into
+// it: C source for compiles, assembly text for assembles, the ordered
+// assembly texts of the units for links, and the link key for executes
+// (sample text → assembly → quorum-accepted run output). A hit returns
+// the recorded value, error, and telemetry bundle; replaying the bundle
+// keeps a warm run's trace byte-identical to the cold run that filled it.
+//
+// Keys are the content itself, not a digest of it: a struct-keyed Go map
+// hashes the strings in place, so a lookup costs no allocation and no
+// cryptographic work — this sits on the per-mutation hot path. The
+// operation and policy are separate key fields, so no separator scheme is
+// needed and no payload can collide across operations.
+package probe
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"srcg/internal/asm"
+	"srcg/internal/obs"
+)
+
+// Counter names for the cache's hit/miss split. They are unsealed
+// (obs.Unsealed): visible in Counters() and reports, excluded from the
+// Flush tail, because a warm and a cold run must trace identically.
+const (
+	CtrCacheHits   = "probe.cache_hits"
+	CtrCacheMisses = "probe.cache_misses"
+)
+
+// entryKey addresses one memoized logical probe by operation, resilience
+// policy, and the full content flowing into the probe.
+type entryKey struct {
+	op      string
+	policy  string
+	payload string
+}
+
+// cacheEntry is one memoized logical probe: its outcome and the drained
+// telemetry bundle to replay on a hit. Immutable once stored.
+type cacheEntry struct {
+	val    any
+	err    error
+	replay *obs.Replay
+}
+
+// Cache memoizes logical probe outcomes content-addressed, across probers
+// and across runs in one process. It also tracks content identity for the
+// opaque handles the toolchain returns (units, images), so a link or
+// execute probe can be keyed by what went into it without ever inspecting
+// the handle — the black-box discipline holds. Safe for concurrent use.
+//
+// Only quiet, settled outcomes are stored: no retries consumed, no noisy
+// latch, and any error permanent (assembler rejects are cached signal;
+// transient faults and exhaustion are not). Probers sharing a Cache must
+// share a resilience policy — the policy is part of the key, so a
+// mismatch degrades to a miss, never to a wrong answer.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[entryKey]*cacheEntry
+	units   map[*asm.Unit]string
+	images  map[*asm.Image]string
+}
+
+// NewCache returns an empty probe cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: map[entryKey]*cacheEntry{},
+		units:   map[*asm.Unit]string{},
+		images:  map[*asm.Image]string{},
+	}
+}
+
+// Len reports how many logical probes are memoized.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) lookup(k entryKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	return e, ok
+}
+
+// store memoizes an entry, first write wins: two workers resolving the
+// same probe concurrently computed the same pure function, so either
+// bundle is the canonical one — keeping the first makes the choice
+// deterministic for every later reader.
+func (c *Cache) store(k entryKey, e *cacheEntry) {
+	c.mu.Lock()
+	if _, ok := c.entries[k]; !ok {
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+}
+
+// bindUnit records a unit handle's content identity: the assembly text it
+// came from. The string header is shared with the probe payload, so the
+// binding costs no copy.
+func (c *Cache) bindUnit(u *asm.Unit, text string) {
+	c.mu.Lock()
+	c.units[u] = text
+	c.mu.Unlock()
+}
+
+// bindImage records an image handle's content identity (its link key).
+func (c *Cache) bindImage(img *asm.Image, id string) {
+	c.mu.Lock()
+	c.images[img] = id
+	c.mu.Unlock()
+}
+
+// unitsKey builds the link-probe payload: the ordered content identities
+// of the units, each prefixed by its length so unit boundaries cannot
+// alias. ok is false (uncacheable) if any unit's origin is unknown.
+func (c *Cache) unitsKey(units []*asm.Unit) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	ids := make([]string, len(units))
+	for i, u := range units {
+		id, ok := c.units[u]
+		if !ok {
+			return "", false
+		}
+		ids[i] = id
+		n += len(id) + 12
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	for _, id := range ids {
+		sb.WriteString(strconv.Itoa(len(id)))
+		sb.WriteByte(':')
+		sb.WriteString(id)
+	}
+	return sb.String(), true
+}
+
+// imageKey builds the execute-probe payload from the image's content
+// identity; ok is false (uncacheable) if the image's origin is unknown.
+func (c *Cache) imageKey(img *asm.Image) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.images[img]
+	return id, ok
+}

@@ -1,0 +1,199 @@
+package probe
+
+import (
+	"errors"
+	"testing"
+
+	"srcg/internal/asm"
+)
+
+// TestQuorumAllTransientRetriesAndSettles is the regression test for the
+// all-faulted quorum: when every run of a quorum faults transiently, the
+// QuorumError (Votes==0) must classify as transient so the retry loop
+// re-runs the whole quorum, and each physical fault must be counted as
+// survived exactly once when the probe finally settles.
+func TestQuorumAllTransientRetriesAndSettles(t *testing.T) {
+	tc := &scripted{execute: []step{
+		{err: &flake{"rsh: dropped"}}, {err: &flake{"rsh: dropped"}}, {err: &flake{"rsh: dropped"}},
+		{out: "A\n"}, {out: "A\n"},
+	}}
+	p := New(tc, cfg(8, 3))
+	out, err := p.Execute(&asm.Image{})
+	if err != nil || out != "A\n" {
+		t.Fatalf("Execute = %q, %v; the retried quorum must settle", out, err)
+	}
+	st := p.Stats()
+	if st.Retries != 1 {
+		t.Errorf("retries = %d; an all-faulted quorum is transient and retried once here", st.Retries)
+	}
+	if st.FaultsSurvived != 3 {
+		t.Errorf("survived = %d; want 3 — each dropped run counted exactly once", st.FaultsSurvived)
+	}
+	if st.QuorumConflicts != 0 || p.Noisy() {
+		t.Error("transient faults are not disagreements; the machine is not noisy")
+	}
+}
+
+// TestAllTransientQuorumErrorShape pins the error value itself: Votes==0
+// gets its own message, the last fault is reachable via Unwrap, and the
+// error stays transient.
+func TestAllTransientQuorumErrorShape(t *testing.T) {
+	last := &flake{"rsh: dropped"}
+	qe := &QuorumError{Runs: 3, Votes: 0, Faults: 3, Last: last}
+	if !IsTransient(qe) {
+		t.Error("an all-faulted quorum must be transient")
+	}
+	if !errors.Is(qe, last) {
+		t.Error("Unwrap must expose the last transient fault")
+	}
+	if qe.Error() == (&QuorumError{Runs: 3, Votes: 3}).Error() {
+		t.Error("Votes==0 needs a distinct message: nothing voted, nothing disagreed")
+	}
+}
+
+// TestFaultAttributionCountsPhysicalFaultsOnce pins the accounting split
+// between the retry loop and the quorum: a physical transient fault inside
+// a failed quorum attempt must be counted as survived exactly once — at
+// final settle, by the retry loop — never also as a quorum "loser". The
+// script forces a conflict (raising the bar to 3), then a faulted quorum,
+// then a clean settle; exactly one physical fault exists.
+func TestFaultAttributionCountsPhysicalFaultsOnce(t *testing.T) {
+	tc := &scripted{execute: []step{
+		{out: "a"}, {out: "b"}, {out: "c"}, // conflict: three distinct votes, no quorum
+		{err: &flake{"rsh: dropped"}}, {out: "d"}, {out: "d"}, // fault eats a run; 2 < bar of 3
+		{out: "d"}, {out: "d"}, {out: "d"}, // clean settle at the raised bar
+	}}
+	p := New(tc, cfg(8, 3))
+	out, err := p.Execute(&asm.Image{})
+	if err != nil || out != "d" {
+		t.Fatalf("Execute = %q, %v", out, err)
+	}
+	st := p.Stats()
+	if st.FaultsSurvived != 1 {
+		t.Errorf("survived = %d; want 1 — one physical fault, one tally", st.FaultsSurvived)
+	}
+	if st.Retries != 2 || st.QuorumConflicts != 1 || !p.Noisy() {
+		t.Errorf("stats = %+v noisy=%v; want retries=2 conflicts=1 noisy", st, p.Noisy())
+	}
+}
+
+// TestCacheColdWarmReplays drives the full probe chain twice against a
+// shared cache with scripts sized for exactly one physical pass: the warm
+// prober must replay every probe (a second physical call would exhaust a
+// script and panic) and still report identical outputs and identical
+// logical stats.
+func TestCacheColdWarmReplays(t *testing.T) {
+	cache := NewCache()
+	run := func(tc *scripted) (string, Stats, *Prober) {
+		c := cfg(8, 7)
+		c.Cache = cache
+		p := New(tc, c)
+		text, err := p.CompileC("main(){}")
+		if err != nil {
+			t.Fatalf("CompileC: %v", err)
+		}
+		u, err := p.Assemble(text)
+		if err != nil {
+			t.Fatalf("Assemble: %v", err)
+		}
+		img, err := p.Link([]*asm.Unit{u})
+		if err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+		out, err := p.Execute(img)
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		return out, p.Stats(), p
+	}
+
+	cold := &scripted{
+		compile:  []step{{out: "mov a, b"}},
+		assemble: []step{{}},
+		link:     []step{{}},
+		execute:  []step{{out: "42\n"}, {out: "42\n"}},
+	}
+	outCold, stCold, _ := run(cold)
+
+	// The warm toolchain has empty scripts: any physical call panics.
+	outWarm, stWarm, pw := run(&scripted{})
+	if outWarm != outCold {
+		t.Errorf("warm output %q != cold output %q", outWarm, outCold)
+	}
+	if stWarm != stCold {
+		t.Errorf("replayed stats drifted:\ncold %+v\nwarm %+v", stCold, stWarm)
+	}
+	if hits := pw.Tracer().Counter(CtrCacheHits); hits != 4 {
+		t.Errorf("warm cache hits = %d; want 4 (compile, assemble, link, execute)", hits)
+	}
+	if misses := pw.Tracer().Counter(CtrCacheMisses); misses != 0 {
+		t.Errorf("warm cache misses = %d; want 0", misses)
+	}
+}
+
+// TestCacheRefusesUnquietOutcomes: outcomes that consumed retries or were
+// observed on a noisy machine depend on context the cache key cannot see,
+// so they must not be memoized.
+func TestCacheRefusesUnquietOutcomes(t *testing.T) {
+	cache := NewCache()
+	c := cfg(8, 7)
+	c.Cache = cache
+	tc := &scripted{
+		compile: []step{
+			{err: &flake{"compiler crashed"}}, {out: "mov a, b"}, // retried → uncacheable
+			{out: "mov a, b"}, // quiet → cached
+		},
+	}
+	p := New(tc, c)
+	if _, err := p.CompileC("main(){}"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("a retried probe was cached (len=%d)", cache.Len())
+	}
+	if _, err := p.CompileC("main(){}"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("a quiet probe was not cached (len=%d)", cache.Len())
+	}
+
+	// A noisy machine invalidates caching wholesale: once the latch is set,
+	// no further outcome is stored.
+	noisyTC := &scripted{execute: []step{
+		{out: "4X\n"}, {out: "42\n"}, {out: "42\n"}, {out: "42\n"}, // conflict → noisy
+		{out: "7\n"}, {out: "7\n"}, {out: "7\n"}, // quiet runs, but on a caught liar
+	}}
+	pn := New(noisyTC, c)
+	if _, err := pn.Execute(&asm.Image{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pn.Execute(&asm.Image{}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("a noisy prober stored outcomes (len=%d)", cache.Len())
+	}
+}
+
+// TestCacheKeyIncludesPolicy: the same probe under a different resilience
+// policy is a different key — a 2-of-7 quorum's accepted output must not
+// answer a 1-of-1 prober.
+func TestCacheKeyIncludesPolicy(t *testing.T) {
+	cache := NewCache()
+	c1 := cfg(8, 7)
+	c1.Cache = cache
+	p1 := New(&scripted{compile: []step{{out: "mov a, b"}}}, c1)
+	if _, err := p1.CompileC("main(){}"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := cfg(3, 1)
+	c2.Cache = cache
+	p2 := New(&scripted{compile: []step{{out: "mov a, b"}}}, c2)
+	if _, err := p2.CompileC("main(){}"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache entries = %d; want 2 — policy is part of the key", cache.Len())
+	}
+}

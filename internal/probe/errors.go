@@ -47,17 +47,28 @@ func (e *ExhaustedError) Unwrap() error { return e.Last }
 func (e *ExhaustedError) Transient() bool { return false }
 
 // QuorumError reports an execution whose outputs never reached a quorum
-// within the re-probe budget — the machine is too noisy to trust a single
-// observation. It is transient: the outer retry loop re-runs the whole
-// quorum, and only an ExhaustedError makes the disagreement permanent.
+// within the re-probe budget — either the machine is too noisy to trust a
+// single observation (Votes > 1), or every run faulted transiently before
+// producing one (Votes == 0). Both are transient: the outer retry loop
+// re-runs the whole quorum, and only an ExhaustedError makes the failure
+// permanent. IsTransient stops at the first Transient() in the chain, so
+// the wrapped Last can never shadow this classification.
 type QuorumError struct {
-	Runs  int
-	Votes int // distinct outputs observed
+	Runs   int
+	Votes  int   // distinct observations that voted
+	Faults int   // runs consumed by transient faults without voting
+	Last   error // final transient fault, when any run faulted
 }
 
 func (e *QuorumError) Error() string {
+	if e.Votes == 0 {
+		return fmt.Sprintf("probe: no output quorum after %d runs (every run faulted transiently: %v)", e.Runs, e.Last)
+	}
 	return fmt.Sprintf("probe: no output quorum after %d runs (%d distinct outputs)", e.Runs, e.Votes)
 }
 
-// Transient marks quorum failures for the retry loop.
+func (e *QuorumError) Unwrap() error { return e.Last }
+
+// Transient marks quorum failures — disagreement and all-transient alike —
+// for the retry loop.
 func (e *QuorumError) Transient() bool { return true }

@@ -18,12 +18,20 @@
 // call, retry, and quorum escalation is reported to an obs.Tracer, and
 // the resilience counters live there — Stats is a read-only view over the
 // tracer's counters, so the probe layer and core.Report() can never
-// drift apart on attempts/retries/quorum tallies. The same single seam
-// is where the planned parallel probe engine and content-addressed probe
-// cache will attach.
+// drift apart on attempts/retries/quorum tallies.
+//
+// The same seam carries the parallel probe engine and the probe cache:
+// every logical probe (one fully resolved retry+quorum interaction) runs
+// on a forked prober — forked tracer, snapshotted noisy latch — and its
+// telemetry bundle joins back in order, whether the probe executed or
+// replayed from the content-addressed Cache. Because the serial path and
+// the pooled path (internal/pool) go through the identical fork/join
+// machinery, traces are byte-identical at any worker count and in any
+// cache state.
 package probe
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -56,6 +64,12 @@ type Config struct {
 	// counters Stats reads. Nil gets a private sink-less tracer, so the
 	// counters always exist.
 	Trace *obs.Tracer
+	// Cache, when non-nil, memoizes logical probe outcomes content-
+	// addressed (sample text → assembly → quorum-accepted run output), so
+	// repeated probes across re-analysis, validation, and whole repeat
+	// runs replay instead of hitting the toolchain. Probers sharing a
+	// Cache must share the same Retries/QuorumN policy.
+	Cache *Cache
 }
 
 // Policy defaults.
@@ -111,9 +125,12 @@ const (
 // Diagnostics half of the paper's cost story under a hostile machine
 // room. It is a read-only view over the tracer's probe.* counters, not
 // an independent tally; Probers sharing one tracer share the counts.
+// Cache hits replay the original probe's counters, so these numbers are
+// cache-state-invariant (they describe the discovery, not the process);
+// the unsealed probe.cache_hits counter exposes the physical savings.
 type Stats struct {
 	Probes          int           // logical probe requests issued by the discovery unit
-	Attempts        int           // physical toolchain calls (includes retries and quorum runs)
+	Attempts        int           // toolchain calls (includes retries and quorum runs)
 	Retries         int           // re-attempts after a transient fault
 	FaultsSurvived  int           // transient faults absorbed (retried or outvoted)
 	Exhausted       int           // probes that spent their whole retry budget
@@ -141,9 +158,11 @@ func (s Stats) String() string {
 
 // Prober drives one toolchain resiliently. It is safe for concurrent use.
 type Prober struct {
-	cfg Config
-	tc  target.Toolchain
-	tr  *obs.Tracer
+	cfg    Config
+	tc     target.Toolchain
+	tr     *obs.Tracer
+	cache  *Cache
+	policy string // resilience policy fingerprint, part of every cache key
 
 	mu sync.Mutex
 	// noisy is set the first time two runs of one program disagree, and
@@ -169,7 +188,44 @@ func New(tc target.Toolchain, cfg Config) *Prober {
 	if cfg.Trace == nil {
 		cfg.Trace = obs.New(nil)
 	}
-	return &Prober{tc: tc, cfg: cfg, tr: cfg.Trace}
+	return &Prober{
+		tc:     tc,
+		cfg:    cfg,
+		tr:     cfg.Trace,
+		cache:  cfg.Cache,
+		policy: fmt.Sprintf("retries=%d;quorum=%d", cfg.Retries, cfg.QuorumN),
+	}
+}
+
+// Fork returns a child prober for one unit of parallel or memoized work:
+// same toolchain, policy, and cache, reporting to a fork of the tracer,
+// with the parent's noisy latch snapshotted. Join folds the child's
+// telemetry and latch back in; internal/pool drives forks in task order
+// so results and traces are byte-identical at any worker count.
+func (p *Prober) Fork() *Prober {
+	return &Prober{
+		cfg:    p.cfg,
+		tc:     p.tc,
+		tr:     p.tr.Fork(),
+		cache:  p.cache,
+		policy: p.policy,
+		noisy:  p.Noisy(),
+	}
+}
+
+// Join drains a forked prober's telemetry bundle into p and merges its
+// noisy latch: a machine caught lying inside a fork stays caught.
+func (p *Prober) Join(sub *Prober) {
+	p.tr.Join(sub.tr.Drain())
+	if sub.Noisy() {
+		p.latch()
+	}
+}
+
+func (p *Prober) latch() {
+	p.mu.Lock()
+	p.noisy = true
+	p.mu.Unlock()
 }
 
 // Toolchain returns the wrapped toolchain.
@@ -237,8 +293,17 @@ func (p *Prober) backoff(retry int) time.Duration {
 
 // retry runs op, retrying transient faults up to the budget. Permanent
 // errors pass through untouched — they are the discovery unit's signal.
-func (p *Prober) retry(opName string, op func() error) error {
+//
+// op reports how many physical transient faults its attempt consumed: a
+// simple op returns 1 when the call itself faulted transiently, and the
+// execute quorum returns its transient-run count. Faults accumulate
+// across attempts and are counted into CtrFaultsSurvived exactly once,
+// when a non-transient observation finally lands — the quorum site never
+// tallies them too, so each physical fault is survived at most once.
+// Exhaustion counts nothing as survived: those faults won.
+func (p *Prober) retry(opName string, op func() (faults int, err error)) error {
 	p.tr.Count(CtrProbes, 1)
+	pending := 0
 	var last error
 	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -246,10 +311,11 @@ func (p *Prober) retry(opName string, op func() error) error {
 			p.tr.Count(CtrRetries, 1)
 			p.tr.RetryEvent(opName, attempt, d)
 		}
-		err := op()
+		faults, err := op()
+		pending += faults
 		if err == nil || !IsTransient(err) {
-			if attempt > 0 {
-				p.tr.Count(CtrFaultsSurvived, int64(attempt))
+			if pending > 0 {
+				p.tr.Count(CtrFaultsSurvived, int64(pending))
 			}
 			return err
 		}
@@ -259,43 +325,127 @@ func (p *Prober) retry(opName string, op func() error) error {
 	return &ExhaustedError{Op: opName, Attempts: p.cfg.Retries + 1, Last: last}
 }
 
+// transientCount is the physical fault cost of a simple (non-quorum)
+// attempt: 1 if the call faulted transiently, else 0.
+func transientCount(err error) int {
+	if err != nil && IsTransient(err) {
+		return 1
+	}
+	return 0
+}
+
+// logical resolves one logical probe — a full retry+quorum interaction —
+// on a forked prober, joining the fork's telemetry bundle back in order.
+// With a cache attached and a content key known (memo), a quiet settled
+// outcome is memoized, and a later identical probe replays it: same
+// value, same error, same telemetry bundle, no toolchain work. Both
+// paths join one bundle at one point, which is why traces are
+// byte-identical across cache states.
+func (p *Prober) logical(op, payload string, memo bool, fn func(sub *Prober) (any, error)) (any, error) {
+	var id entryKey
+	memo = memo && p.cache != nil
+	if memo {
+		id = entryKey{op: op, policy: p.policy, payload: payload}
+		if e, ok := p.cache.lookup(id); ok {
+			p.tr.Count(CtrCacheHits, 1)
+			p.tr.Join(e.replay)
+			return e.val, e.err
+		}
+		p.tr.Count(CtrCacheMisses, 1)
+	}
+	sub := p.Fork()
+	val, err := fn(sub)
+	r := sub.tr.Drain()
+	p.tr.Join(r)
+	noisy := sub.Noisy()
+	if noisy {
+		p.latch()
+	}
+	if memo && !noisy && sub.tr.Counter(CtrRetries) == 0 && cacheableErr(err) {
+		p.cache.store(id, &cacheEntry{val: val, err: err, replay: r})
+	}
+	return val, err
+}
+
+// cacheableErr admits outcomes into the cache: success and permanent
+// errors are signal worth memoizing; transient faults and retry-budget
+// exhaustion are weather, and must be re-probed next time.
+func cacheableErr(err error) bool {
+	if err == nil {
+		return true
+	}
+	if IsTransient(err) {
+		return false
+	}
+	var ex *ExhaustedError
+	return !errors.As(err, &ex)
+}
+
 // CompileC compiles one translation unit, surviving transient faults.
 func (p *Prober) CompileC(src string) (string, error) {
-	var text string
-	err := p.retry("compile", func() error {
-		return p.call("compile", func() error {
-			var err error
-			text, err = p.tc.CompileC(src)
-			return err
+	v, err := p.logical("compile", src, true, func(sub *Prober) (any, error) {
+		var text string
+		rerr := sub.retry("compile", func() (int, error) {
+			cerr := sub.call("compile", func() error {
+				var err error
+				text, err = sub.tc.CompileC(src)
+				return err
+			})
+			return transientCount(cerr), cerr
 		})
+		return text, rerr
 	})
+	text, _ := v.(string)
 	return text, err
 }
 
 // Assemble assembles text. A reject from the assembler is permanent — it
 // is the accept/reject oracle syntax discovery bisects against (§3.1).
 func (p *Prober) Assemble(text string) (*asm.Unit, error) {
-	var u *asm.Unit
-	err := p.retry("assemble", func() error {
-		return p.call("assemble", func() error {
-			var err error
-			u, err = p.tc.Assemble(text)
-			return err
+	v, err := p.logical("assemble", text, true, func(sub *Prober) (any, error) {
+		var u *asm.Unit
+		rerr := sub.retry("assemble", func() (int, error) {
+			aerr := sub.call("assemble", func() error {
+				var err error
+				u, err = sub.tc.Assemble(text)
+				return err
+			})
+			return transientCount(aerr), aerr
 		})
+		return u, rerr
 	})
+	u, _ := v.(*asm.Unit)
+	if u != nil && p.cache != nil {
+		// Track the handle's content identity so link probes downstream
+		// can be keyed by what went into them without inspecting it.
+		p.cache.bindUnit(u, text)
+	}
 	return u, err
 }
 
 // Link links assembled units.
 func (p *Prober) Link(units []*asm.Unit) (*asm.Image, error) {
-	var img *asm.Image
-	err := p.retry("link", func() error {
-		return p.call("link", func() error {
-			var err error
-			img, err = p.tc.Link(units)
-			return err
+	var payload string
+	keyed := false
+	if p.cache != nil {
+		payload, keyed = p.cache.unitsKey(units)
+	}
+	v, err := p.logical("link", payload, keyed, func(sub *Prober) (any, error) {
+		var img *asm.Image
+		rerr := sub.retry("link", func() (int, error) {
+			lerr := sub.call("link", func() error {
+				var err error
+				img, err = sub.tc.Link(units)
+				return err
+			})
+			return transientCount(lerr), lerr
 		})
+		return img, rerr
 	})
+	img, _ := v.(*asm.Image)
+	if img != nil && keyed {
+		p.cache.bindImage(img, payload)
+	}
 	return img, err
 }
 
@@ -305,12 +455,21 @@ func (p *Prober) Link(units []*asm.Unit) (*asm.Image, error) {
 // execution errors (a program faulting) are themselves observations and
 // vote like outputs.
 func (p *Prober) Execute(img *asm.Image) (string, error) {
-	var out string
-	err := p.retry("execute", func() error {
-		var err error
-		out, err = p.quorumExecute(img)
-		return err
+	var payload string
+	keyed := false
+	if p.cache != nil {
+		payload, keyed = p.cache.imageKey(img)
+	}
+	v, err := p.logical("execute", payload, keyed, func(sub *Prober) (any, error) {
+		var out string
+		rerr := sub.retry("execute", func() (int, error) {
+			o, faults, qerr := sub.quorumExecute(img)
+			out = o
+			return faults, qerr
+		})
+		return out, rerr
 	})
+	out, _ := v.(string)
 	return out, err
 }
 
@@ -322,9 +481,11 @@ type observation struct {
 // quorumExecute runs the image until one observation gathers a quorum: two
 // agreeing runs normally, three once any disagreement has been seen. With
 // QuorumN=1 the first run is trusted. Transient execution faults do not
-// vote; they consume run budget and are retried by the caller if the
-// budget empties.
-func (p *Prober) quorumExecute(img *asm.Image) (string, error) {
+// vote; they consume run budget (reported back as the attempt's fault
+// count) and the caller retries the whole quorum if the budget empties —
+// including when every run faulted, a QuorumError with Votes==0 that is
+// transient like any other quorum failure.
+func (p *Prober) quorumExecute(img *asm.Image) (out string, faults int, err error) {
 	execute := func() (string, error) {
 		var out string
 		err := p.call("execute", func() error {
@@ -335,16 +496,20 @@ func (p *Prober) quorumExecute(img *asm.Image) (string, error) {
 		return out, err
 	}
 	if p.cfg.QuorumN == 1 {
-		return execute()
+		out, err := execute()
+		return out, transientCount(err), err
 	}
 	votes := map[string]int{}
 	obsv := map[string]observation{}
 	conflict := false
+	var lastFault error
 	for run := 0; run < p.cfg.QuorumN; run++ {
 		p.tr.Count(CtrQuorumRuns, 1)
 		out, err := execute()
 		if err != nil && IsTransient(err) {
-			continue // consumes a run slot; counted as survived if a quorum forms
+			faults++
+			lastFault = err
+			continue // consumes a run slot without voting
 		}
 		key := "out:" + out
 		if err != nil {
@@ -365,12 +530,15 @@ func (p *Prober) quorumExecute(img *asm.Image) (string, error) {
 			need = 3
 		}
 		if votes[key] >= need {
-			// Every run that did not vote for the winner — losing
-			// outputs and transient faults alike — was noise this
-			// quorum absorbed.
-			p.tr.Count(CtrFaultsSurvived, int64(run+1-votes[key]))
-			return obsv[key].out, obsv[key].err
+			// Runs that voted for a losing observation were noise this
+			// quorum outvoted. Transient faults are NOT tallied here:
+			// the retry loop owns them (counting both places used to
+			// attribute one physical fault twice).
+			if losers := run + 1 - votes[key] - faults; losers > 0 {
+				p.tr.Count(CtrFaultsSurvived, int64(losers))
+			}
+			return obsv[key].out, faults, obsv[key].err
 		}
 	}
-	return "", &QuorumError{Runs: p.cfg.QuorumN, Votes: len(votes)}
+	return "", faults, &QuorumError{Runs: p.cfg.QuorumN, Votes: len(votes), Faults: faults, Last: lastFault}
 }
