@@ -4,10 +4,16 @@
 // machine-description linter produced. A clean discovery prints a one-line
 // summary and exits 0; any Error-severity diagnostic exits 1.
 //
+// With -md the semantic machine-description analyzer (SA020–SA025) runs
+// on top of the linter: coverage closure over the IR demand set, rule
+// shadowing and rewrite-cycle detection, symbolic template verification
+// against the mutation-analysis attributions, and cross-target
+// structural invariants.
+//
 // Usage:
 //
-//	srcgvet -target sparc [-seed 1] [-full] [-signedshifts] [-faults 7:0.1]
-//	        [-trace run.jsonl [-traceformat chrome]]
+//	srcgvet -target sparc [-seed 1] [-full] [-signedshifts] [-md]
+//	        [-faults 7:0.1] [-trace run.jsonl [-traceformat chrome]]
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 	}
 	opts := common.Options(tr)
 	opts.Check = true
+	opts.CheckMD = common.MD
 	d, err := srcg.Discover(t, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "srcgvet: discovery failed: %v\n", err)
@@ -53,8 +60,12 @@ func main() {
 	}
 	rep := d.CheckReport
 	if len(rep.Diags) == 0 {
-		fmt.Printf("srcgvet: %s: %d graphs verified, spec linted, no diagnostics\n",
-			*targetName, len(d.Graphs))
+		what := "spec linted"
+		if common.MD {
+			what = "spec linted, MD verified"
+		}
+		fmt.Printf("srcgvet: %s: %d graphs verified, %s, no diagnostics\n",
+			*targetName, len(d.Graphs), what)
 		return
 	}
 	fmt.Print(rep.String())

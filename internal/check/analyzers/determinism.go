@@ -35,7 +35,8 @@ import (
 // reachable only through the toolchain interface, and their determinism
 // is asserted end to end by the double-run discovery test.
 var DeterminismScope = []string{
-	"asm", "beg", "cc", "check", "check/analyzers", "cliflags", "core",
+	"asm", "beg", "cc", "check", "check/analyzers", "check/mdverify",
+	"cliflags", "core",
 	"dfg", "discovery", "enquire", "experiments", "extract", "faulty",
 	"gen", "ir", "lexer", "machine", "mutate", "obs", "pool", "probe",
 	"sem", "synth",

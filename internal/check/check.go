@@ -84,7 +84,89 @@ const (
 	// graph stayed faulty through its checker-gated retry budget was
 	// dropped from the run instead of aborting it.
 	CodeSampleDropped = "SA015"
+	// CodeUncoveredDemand: the coverage-closure fixpoint found an IR
+	// operator × operand-valuation combination the front end can emit
+	// that no finite rule chain of the machine description covers.
+	// Declared gaps (Spec.Gaps, the paper's "almost correct" specs)
+	// demote the finding to a warning; an undeclared hole is an error.
+	CodeUncoveredDemand = "SA020"
+	// CodeDeadRule: a rule no front-end demand can ever reach — an
+	// operation template keyed outside the emitter's operator set, a
+	// call template with no matching callee convention (or vice versa),
+	// or a chain rule over an unwitnessed addressing mode.
+	CodeDeadRule = "SA021"
+	// CodeShadowedRule: pairwise pattern intersection shows a rule can
+	// never fire because an earlier rule matches the same pattern under
+	// the same condition (duplicate chain specialization).
+	CodeShadowedRule = "SA022"
+	// CodeRewriteCycle: the cost model cannot prove rewriting
+	// terminates — the chain-rule mode graph has a cycle (chains cost
+	// 0, so a cycle never decreases cost), or a template's declared
+	// cost disagrees with the instructions it emits.
+	CodeRewriteCycle = "SA023"
+	// CodeFootprintMismatch: symbolic interpretation of a rule's
+	// rendered template through the data-flow port machinery produced a
+	// read/write footprint contradicting the semantics mutation
+	// analysis attributed to its instructions — a destination cell
+	// never written, a write outside the destination, a source never
+	// read, or a register read whose value nothing accounts for.
+	CodeFootprintMismatch = "SA024"
+	// CodeStructuralInvariant: a cross-target structural invariant
+	// failed — the register-class partition is not total, an immediate
+	// range is not a well-formed interval, the addressing-mode grammar
+	// is ambiguous, or a frame/callee model is internally inconsistent.
+	CodeStructuralInvariant = "SA025"
 )
+
+// CodeInfo describes one stable diagnostic code for tools that render or
+// gate on findings without hard-coding the code list.
+type CodeInfo struct {
+	Code    string
+	Summary string
+}
+
+// registry is the single authoritative list of diagnostic codes. Tests
+// assert every Code* constant appears here, so adding a code without
+// registering it fails fast.
+var registry = []CodeInfo{
+	{CodeDanglingProducer, "input port's producer does not dominate the use"},
+	{CodeDeadRegisterUse, "register read with no reaching definition or live-in evidence"},
+	{CodeHiddenChannel, "hidden-channel endpoint without its partner"},
+	{CodeLabelResolution, "label does not resolve to a step in the region"},
+	{CodeAttributionMismatch, "static and mutation-derived dataflow disagree"},
+	{CodeDeadDefinition, "definition no reachable step reads"},
+	{CodeDuplicateTemplate, "two operations share one instruction sequence"},
+	{CodeImmediateRange, "template immediate outside the probed operand range"},
+	{CodeRegisterClassOverlap, "template scratch registers overlap the frame-base class"},
+	{CodeUnwitnessedMode, "template operand uses an addressing mode no sample witnessed"},
+	{CodeUnpairedHiddenConsumer, "hidden-value consumer emitted without its producer"},
+	{CodeSampleDropped, "sample dropped after exhausting checker-gated retries"},
+	{CodeUncoveredDemand, "front-end demand unreachable through any finite rule chain"},
+	{CodeDeadRule, "rule no front-end demand can reach"},
+	{CodeShadowedRule, "rule always subsumed by an earlier rule"},
+	{CodeRewriteCycle, "rewrite chain can loop without decreasing cost"},
+	{CodeFootprintMismatch, "template footprint contradicts mutation-analysis attribution"},
+	{CodeStructuralInvariant, "machine description breaks a structural invariant"},
+}
+
+// Registry returns every registered diagnostic code with its summary,
+// sorted by code.
+func Registry() []CodeInfo {
+	out := make([]CodeInfo, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// Describe looks up the registry entry for a diagnostic code.
+func Describe(code string) (CodeInfo, bool) {
+	for _, ci := range registry {
+		if ci.Code == code {
+			return ci, true
+		}
+	}
+	return CodeInfo{}, false
+}
 
 // Diagnostic is one finding with a stable code and a location.
 type Diagnostic struct {

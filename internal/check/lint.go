@@ -109,6 +109,26 @@ func LintSpec(m *discovery.Model, s *synth.Spec) []Diagnostic {
 	return diags
 }
 
+// NamedRule pairs one spec rule with its deterministic display name
+// ("Op/Add", "Move", "Branch/EQ", "Call1", …) — the enumeration the
+// machine-description analyzers share.
+type NamedRule struct {
+	Name string
+	T    *synth.Template
+}
+
+// SpecRules collects every sample-derived rule of the spec in the
+// deterministic order namedTemplates establishes, exported for the
+// semantic analyzer (check/mdverify).
+func SpecRules(s *synth.Spec) []NamedRule {
+	nts := namedTemplates(s)
+	out := make([]NamedRule, len(nts))
+	for i, nt := range nts {
+		out[i] = NamedRule{Name: nt.name, T: nt.t}
+	}
+	return out
+}
+
 type namedTemplate struct {
 	name string
 	t    *synth.Template

@@ -1,0 +1,282 @@
+package mdverify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"srcg/internal/check"
+	"srcg/internal/discovery"
+	"srcg/internal/ir"
+	"srcg/internal/synth"
+)
+
+// A valuation class abstracts where an operand's value can come from at
+// rule-selection time. The front end (internal/beg) holds every
+// intermediate value in a frame slot; literals start as immediates and
+// become slot-deliverable only once the Const rule is covered.
+const (
+	vSlot = "slot" // a frame-slot cell
+	vImm  = "imm"  // a source-level integer literal
+	vLbl  = "label"
+	vProc = "proc"
+)
+
+// Demand is one front-end-emittable combination: a rule plus the
+// valuation classes of its operands.
+type Demand struct {
+	Rule string   // display name ("Op/Add", "Branch/EQ", "Call2", …)
+	Gap  string   // the Spec.Gaps key declaring this rule uncovered
+	Vals []string // operand valuation classes
+}
+
+// FrontEndDemands enumerates every rule × operand-valuation combination
+// the intermediate-code emitter can produce — the demand side of the
+// coverage fixpoint, exported so tools can render the closure table.
+func FrontEndDemands() []Demand {
+	var ds []Demand
+	binVals := [][]string{{vSlot, vSlot}, {vSlot, vImm}, {vImm, vSlot}, {vImm, vImm}}
+	for op := ir.Add; op <= ir.Shr; op++ {
+		for _, vv := range binVals {
+			ds = append(ds, Demand{Rule: "Op/" + op.String(), Gap: op.String(), Vals: vv})
+		}
+	}
+	for _, op := range []ir.Op{ir.Neg, ir.Not} {
+		for _, v := range []string{vSlot, vImm} {
+			ds = append(ds, Demand{Rule: "Op/" + op.String(), Gap: op.String(), Vals: []string{v}})
+		}
+	}
+	ds = append(ds, Demand{Rule: "Move", Gap: "Move", Vals: []string{vSlot}})
+	ds = append(ds, Demand{Rule: "Const", Gap: "Const", Vals: []string{vSlot}})
+	for rel := ir.EQ; rel <= ir.GE; rel++ {
+		for _, vv := range binVals {
+			ds = append(ds, Demand{Rule: "Branch/" + rel.String(), Gap: "Branch" + rel.String(),
+				Vals: append([]string{vLbl}, vv...)})
+		}
+	}
+	ds = append(ds, Demand{Rule: "Jump", Gap: "Jump", Vals: []string{vLbl}})
+	for n := 0; n <= 2; n++ {
+		argVals := [][]string{{}}
+		for i := 0; i < n; i++ {
+			var next [][]string
+			for _, vv := range argVals {
+				next = append(next, append(append([]string{}, vv...), vSlot),
+					append(append([]string{}, vv...), vImm))
+			}
+			argVals = next
+		}
+		for _, vv := range argVals {
+			ds = append(ds, Demand{Rule: fmt.Sprintf("Call%d", n), Gap: fmt.Sprintf("Call%d", n),
+				Vals: append([]string{vProc, vSlot}, vv...)})
+		}
+	}
+	ds = append(ds, Demand{Rule: "Print", Gap: "Print", Vals: []string{vSlot}})
+	ds = append(ds, Demand{Rule: "Exit", Gap: "Exit", Vals: nil})
+	return ds
+}
+
+// Coverage runs the coverage-closure fixpoint (SA020) and the dead-rule
+// scan (SA021).
+//
+// The fixpoint works over deliverable valuation classes: labels and
+// procedure symbols are free; frame slots become deliverable once the
+// frame model can render them; immediates become slot-deliverable once
+// the Const rule is itself covered (a literal must be materialized into
+// a slot before any other rule consumes it). Iteration continues until
+// no class is added, then every front-end demand is checked against the
+// final set — a finite rule chain exists exactly when the demand's rule
+// has a template and each operand class is deliverable.
+func Coverage(m *discovery.Model, s *synth.Spec) []check.Diagnostic {
+	var diags []check.Diagnostic
+	declared := map[string]bool{}
+	for _, g := range s.Gaps {
+		declared[g] = true
+	}
+
+	ruleCovered := func(rule string) bool {
+		has := func(t *synth.Template) bool { return t != nil && len(t.Lines) > 0 }
+		switch {
+		case strings.HasPrefix(rule, "Op/"):
+			for op := range s.Ops {
+				if "Op/"+op.String() == rule && has(s.Ops[op]) {
+					return true
+				}
+			}
+			return false
+		case rule == "Move":
+			return has(s.Move)
+		case rule == "Const":
+			return has(s.Const)
+		case strings.HasPrefix(rule, "Branch/"):
+			for rel := range s.Branches {
+				if "Branch/"+rel.String() == rule && has(s.Branches[rel]) {
+					return true
+				}
+			}
+			return false
+		case rule == "Jump":
+			return has(s.Jump)
+		case strings.HasPrefix(rule, "Call"):
+			var n int
+			fmt.Sscanf(rule, "Call%d", &n)
+			return has(s.Calls[n]) && s.Callees[n] != nil
+		case rule == "Print":
+			return has(s.Print)
+		case rule == "Exit":
+			return len(s.ExitTail) > 0
+		}
+		return false
+	}
+
+	// Worklist fixpoint over deliverable classes.
+	facts := map[string]bool{vLbl: true, vProc: true}
+	if strings.Contains(s.Main.Slots.Pattern, "%d") {
+		facts[vSlot] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		if !facts[vImm] && facts[vSlot] && ruleCovered("Const") {
+			facts[vImm] = true
+			changed = true
+		}
+	}
+
+	// Check every demand, aggregating per rule so one missing template
+	// reports once with every valuation it strands.
+	uncovered := map[string][]string{}
+	var order []string
+	for _, d := range FrontEndDemands() {
+		ok := ruleCovered(d.Rule)
+		for _, v := range d.Vals {
+			if !facts[v] {
+				ok = false
+			}
+		}
+		if !ok {
+			if _, seen := uncovered[d.Rule]; !seen {
+				order = append(order, d.Rule)
+			}
+			uncovered[d.Rule] = append(uncovered[d.Rule], "["+strings.Join(d.Vals, ",")+"]")
+		}
+	}
+	for _, rule := range order {
+		gap := gapKey(rule)
+		msg := fmt.Sprintf("no finite rule chain covers front-end demand %s for valuations %s",
+			rule, strings.Join(uncovered[rule], " "))
+		if declared[gap] {
+			diags = append(diags, warnf(check.CodeUncoveredDemand, "%s (declared gap %q)", msg, gap))
+		} else {
+			diags = append(diags, errf(check.CodeUncoveredDemand, "%s", msg))
+		}
+	}
+
+	diags = append(diags, deadRules(m, s)...)
+	return diags
+}
+
+// gapKey maps a rule display name to its Spec.Gaps key.
+func gapKey(rule string) string {
+	switch {
+	case strings.HasPrefix(rule, "Op/"):
+		return strings.TrimPrefix(rule, "Op/")
+	case strings.HasPrefix(rule, "Branch/"):
+		return "Branch" + strings.TrimPrefix(rule, "Branch/")
+	}
+	return rule
+}
+
+// deadRules flags rules no front-end demand can ever reach (SA021): an
+// operation template keyed outside the binary/unary operator set, a
+// call template whose arity has no callee convention (or a convention
+// with no call rule), a branch keyed outside the relation set, and a
+// chain rule whose premise mode the mode closure cannot deliver.
+func deadRules(m *discovery.Model, s *synth.Spec) []check.Diagnostic {
+	var diags []check.Diagnostic
+	ops := make([]int, 0, len(s.Ops))
+	for op := range s.Ops {
+		ops = append(ops, int(op))
+	}
+	sort.Ints(ops)
+	for _, o := range ops {
+		op := ir.Op(o)
+		if !op.IsBinary() && !op.IsUnary() {
+			diags = append(diags, errf(check.CodeDeadRule,
+				"operation rule Op/%s is keyed outside the emitter's operator set; no demand reaches it", op))
+		}
+	}
+	rels := make([]int, 0, len(s.Branches))
+	for rel := range s.Branches {
+		rels = append(rels, int(rel))
+	}
+	sort.Ints(rels)
+	for _, r := range rels {
+		if r < int(ir.EQ) || r > int(ir.GE) {
+			diags = append(diags, errf(check.CodeDeadRule,
+				"branch rule Branch/%s is keyed outside the relation set; no demand reaches it", ir.Rel(r)))
+		}
+	}
+	ns := make([]int, 0, len(s.Calls))
+	for n := range s.Calls {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		if s.Callees[n] == nil {
+			diags = append(diags, errf(check.CodeDeadRule,
+				"call rule Call%d has no callee convention of arity %d; the emitter can never select it", n, n))
+		}
+	}
+	cns := make([]int, 0, len(s.Callees))
+	for n := range s.Callees {
+		cns = append(cns, n)
+	}
+	sort.Ints(cns)
+	for _, n := range cns {
+		if _, ok := s.Calls[n]; !ok {
+			diags = append(diags, errf(check.CodeDeadRule,
+				"callee convention of arity %d has no Call%d rule; no demand reaches it", n, n))
+		}
+	}
+
+	// Mode closure: witnessed modes are axioms; a chain rule derives its
+	// target mode once its premise mode is deliverable. A chain whose
+	// premise never becomes deliverable can never fire. Chain rules render
+	// their modes with the concrete frame register ("⟨n⟩(%ebp)") while the
+	// lexer's witnessed shapes abstract registers to ⟨r⟩ ("⟨n⟩(⟨r⟩)"), so
+	// the closure runs in generalized mode-shape space.
+	deliverable := map[string]bool{}
+	for _, mode := range m.Modes {
+		deliverable[mode] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range s.Chains {
+			a, b := generalizeMode(m, c.ModeA), generalizeMode(m, c.ModeB)
+			if deliverable[a] && !deliverable[b] {
+				deliverable[b] = true
+				changed = true
+			}
+		}
+	}
+	for i, c := range s.Chains {
+		if !deliverable[generalizeMode(m, c.ModeA)] {
+			diags = append(diags, errf(check.CodeDeadRule,
+				"chain rule %d (%s -> %s) rewrites mode %q, which no sample witnessed and no chain derives",
+				i, c.ModeA, c.ModeB, c.ModeA))
+		}
+	}
+	return diags
+}
+
+// generalizeMode abstracts the concrete register names in a rendered
+// mode back to the lexer's ⟨r⟩ marker, so chain-rule modes compare
+// against witnessed mode shapes. Longer names substitute first, so a
+// register that is a prefix of another cannot alias.
+func generalizeMode(m *discovery.Model, mode string) string {
+	regs := append([]string{}, m.Registers...)
+	sort.Slice(regs, func(i, j int) bool { return len(regs[i]) > len(regs[j]) })
+	for _, r := range regs {
+		mode = strings.ReplaceAll(mode, r, "⟨r⟩")
+	}
+	return mode
+}

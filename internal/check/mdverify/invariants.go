@@ -1,0 +1,151 @@
+package mdverify
+
+import (
+	"sort"
+	"strings"
+
+	"srcg/internal/check"
+	"srcg/internal/discovery"
+	"srcg/internal/synth"
+)
+
+// Invariants is the cross-target differential lint (SA025): structural
+// facts that must hold on every discovered machine description, whatever
+// the architecture. A violation here means the description is internally
+// inconsistent — no probe evidence can justify it.
+func Invariants(m *discovery.Model, s *synth.Spec) []check.Diagnostic {
+	var diags []check.Diagnostic
+
+	// Register-class partition: the register list must be non-empty,
+	// duplicate-free, and total against the membership set; hardwired
+	// registers must be members of the class they specialize.
+	if len(m.Registers) == 0 {
+		diags = append(diags, errf(check.CodeStructuralInvariant,
+			"register class is empty; the partition is not total"))
+	}
+	seen := map[string]bool{}
+	for _, r := range m.Registers {
+		if seen[r] {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"register %s is listed twice; the register-class partition is not a partition", r))
+		}
+		seen[r] = true
+		if !m.RegSet[r] {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"register %s is listed but absent from the membership set", r))
+		}
+	}
+	for _, r := range sortedKeys(m.RegSet) {
+		if !seen[r] {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"register %s is in the membership set but not the register list; the partition is not total", r))
+		}
+	}
+	for _, r := range sortedKeysInt64(m.Hardwired) {
+		if !m.RegSet[r] {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"hardwired register %s is outside the register class", r))
+		}
+	}
+
+	// Immediate ranges must be well-formed, non-empty intervals.
+	for _, key := range sortedKeysRange(m.ImmRange) {
+		r := m.ImmRange[key]
+		if r[0] > r[1] {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"immediate range of %s is the empty interval [%d,%d]", key, r[0], r[1]))
+		}
+	}
+
+	// Addressing-mode grammar: every mode shape distinct and non-empty —
+	// two identical shapes make operand classification ambiguous.
+	modeSeen := map[string]bool{}
+	for _, mode := range m.Modes {
+		if mode == "" {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"empty addressing-mode shape; the mode grammar is ambiguous"))
+			continue
+		}
+		if modeSeen[mode] {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"addressing mode %s appears twice; the mode grammar is ambiguous", mode))
+		}
+		modeSeen[mode] = true
+	}
+
+	// Word width must be a positive machine-plausible width.
+	if m.WordBits <= 0 || m.WordBits > 128 {
+		diags = append(diags, errf(check.CodeStructuralInvariant,
+			"discovered word width %d bits is not a plausible machine word", m.WordBits))
+	}
+
+	// Frame model: the slot pattern must render exactly one offset and
+	// step by a non-zero stride, or slots collide.
+	if p := s.Main.Slots.Pattern; p != "" {
+		if strings.Count(p, "%d") != 1 {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"frame slot pattern %q does not render exactly one offset", p))
+		} else if s.Main.Slots.Stride == 0 {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"frame slot stride is zero; every slot renders the same cell"))
+		}
+	}
+
+	// Callee conventions: parameter slots must match the declared arity,
+	// and the return tail must exist for the emitter to close a body.
+	for _, n := range sortedIntKeys(s.Callees) {
+		cm := s.Callees[n]
+		if cm == nil {
+			continue
+		}
+		if cm.NParams != n {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"callee convention keyed %d declares %d parameters", n, cm.NParams))
+		}
+		if len(cm.ParamSlots) != cm.NParams {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"callee convention of arity %d binds %d parameter slots", cm.NParams, len(cm.ParamSlots)))
+		}
+		if cm.LocalBase < 0 {
+			diags = append(diags, errf(check.CodeStructuralInvariant,
+				"callee convention of arity %d places locals at negative base %d", cm.NParams, cm.LocalBase))
+		}
+	}
+	return diags
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysInt64(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysRange(m map[string][2]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedIntKeys(m map[int]*synth.CalleeModel) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

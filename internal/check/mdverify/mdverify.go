@@ -1,0 +1,64 @@
+// Package mdverify is the semantic analyzer over the synthesized machine
+// description — the static pass that proves a discovered MD sound and
+// complete without re-running a single probe. Where internal/check's
+// SA001–SA015 verify the discovery *process* (data-flow graphs, probe
+// consistency, template syntax), this package verifies the discovered
+// *artifact*: a cached or client-uploaded spec can be validated against
+// the syntax model and attribution tables alone, with no target
+// toolchain in reach.
+//
+// Four cooperating passes, each with stable diagnostic codes:
+//
+//   - coverage closure (SA020/SA021): a worklist fixpoint over IR
+//     operators × operand valuations proves every combination the front
+//     end can emit reachable through a finite rule chain, and flags
+//     rules no demand can ever reach;
+//   - overlap & shadowing (SA022/SA023): pairwise pattern intersection
+//     finds rules an earlier rule always subsumes, and cost-model
+//     monotonicity proves rewrite chains terminate;
+//   - symbolic template verification (SA024): each rule's rendered
+//     assembly template is interpreted abstractly through the dfg port
+//     machinery and its read/write/clobber footprint compared against
+//     the mutation-analysis attributions;
+//   - structural invariants (SA025): cross-target lint every discovered
+//     MD must satisfy — total register partition, well-formed immediate
+//     intervals, unambiguous addressing-mode grammar, coherent frame
+//     and callee models.
+package mdverify
+
+import (
+	"fmt"
+
+	"srcg/internal/check"
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/synth"
+)
+
+// Verify runs all four machine-description passes and returns their
+// findings. The attribution table at drives the symbolic pass; a nil
+// table skips it (structure-only verification, e.g. a spec with no
+// surviving analyses).
+func Verify(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) []check.Diagnostic {
+	if m == nil || s == nil {
+		return nil
+	}
+	var diags []check.Diagnostic
+	diags = append(diags, Coverage(m, s)...)
+	diags = append(diags, Shadowing(m, s)...)
+	if at != nil {
+		diags = append(diags, Symbolic(m, s, at)...)
+	}
+	diags = append(diags, Invariants(m, s)...)
+	return diags
+}
+
+func errf(code string, format string, args ...interface{}) check.Diagnostic {
+	return check.Diagnostic{Code: code, Severity: check.Error, Sample: "spec", Step: -1,
+		Message: fmt.Sprintf(format, args...)}
+}
+
+func warnf(code string, format string, args ...interface{}) check.Diagnostic {
+	return check.Diagnostic{Code: code, Severity: check.Warning, Sample: "spec", Step: -1,
+		Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,325 @@
+package mdverify
+
+import (
+	"strings"
+	"testing"
+
+	"srcg/internal/check"
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/ir"
+	"srcg/internal/synth"
+)
+
+// The fixture is a small load/store machine rich enough to cover every
+// front-end demand: three registers (r1, r2 scratch; fp frame), a
+// "%d(fp)" frame-slot grammar, and generic templates over the opcodes
+// xld/xst/xadd/xneg/xci/xcmp/xb/xjmp/xcall/xprint/xhalt. Each SA02x
+// test corrupts exactly one fact in a fresh copy and expects exactly
+// one diagnostic — proving both that the analyzer catches the seeded
+// defect and that nothing else in the clean description trips it.
+
+func toyModel() *discovery.Model {
+	return &discovery.Model{
+		Arch:      "toy",
+		Registers: []string{"fp", "r1", "r2"},
+		RegSet:    map[string]bool{"fp": true, "r1": true, "r2": true},
+		WordBits:  32,
+		ImmRange:  map[string][2]int64{"xci:1": {-128, 127}},
+		Hardwired: map[string]int64{},
+		Modes:     []string{"⟨n⟩", "⟨n⟩(⟨r⟩)", "⟨r⟩"},
+	}
+}
+
+func tmpl(name string, instrs int, lines ...string) *synth.Template {
+	return &synth.Template{Name: name, Lines: lines, Instrs: instrs}
+}
+
+func toySpec() *synth.Spec {
+	s := &synth.Spec{
+		Arch:     "toy",
+		WordBits: 32,
+		Ops:      map[ir.Op]*synth.Template{},
+		Branches: map[ir.Rel]*synth.Template{},
+		Calls:    map[int]*synth.Template{},
+		Callees:  map[int]*synth.CalleeModel{},
+	}
+	for op := ir.Add; op <= ir.Shr; op++ {
+		s.Ops[op] = tmpl("op", 4,
+			"\txld r1, {src1}", "\txld r2, {src2}", "\txadd r1, r2", "\txst r1, {dst}")
+	}
+	for _, op := range []ir.Op{ir.Neg, ir.Not} {
+		s.Ops[op] = tmpl("unary", 3, "\txld r1, {src1}", "\txneg r1", "\txst r1, {dst}")
+	}
+	s.Move = tmpl("move", 2, "\txld r1, {src1}", "\txst r1, {dst}")
+	s.Const = tmpl("const", 2, "\txci r1, {k}", "\txst r1, {dst}")
+	for rel := ir.EQ; rel <= ir.GE; rel++ {
+		s.Branches[rel] = tmpl("branch", 4,
+			"\txld r1, {src1}", "\txld r2, {src2}", "\txcmp r1, r2", "\txb {label}")
+	}
+	s.Jump = tmpl("jump", 1, "\txjmp {label}")
+	s.Calls[0] = tmpl("call0", 2, "\txcall {fn}", "\txst r1, {dst}")
+	s.Calls[1] = tmpl("call1", 3, "\txld r1, {src1}", "\txcall {fn}", "\txst r1, {dst}")
+	s.Calls[2] = tmpl("call2", 4,
+		"\txld r1, {src1}", "\txld r2, {src2}", "\txcall {fn}", "\txst r1, {dst}")
+	s.Print = tmpl("print", 1, "\txprint")
+	s.ExitTail = []string{"\txhalt"}
+	s.Main = synth.FrameModel{
+		Header: []string{"main:", "\txenter"},
+		Slots:  synth.SlotModel{Pattern: "%d(fp)", Start: 8, Stride: 4},
+	}
+	for n := 0; n <= 2; n++ {
+		cm := &synth.CalleeModel{NParams: n, LocalBase: n}
+		for i := 0; i < n; i++ {
+			cm.ParamSlots = append(cm.ParamSlots, s.Main.Slots.Slot(i))
+		}
+		s.Callees[n] = cm
+	}
+	s.Chains = []synth.ChainRule{{ModeA: "⟨n⟩(fp)", ModeB: "(fp)", Constant: 0}}
+	return s
+}
+
+func toyAttrib() *dfg.AttribTable {
+	sig := func(name string, nargs int) *dfg.SigAttrib {
+		return &dfg.SigAttrib{Sig: name, NArgs: nargs,
+			PosRead:  make([]bool, nargs),
+			PosWrite: make([]bool, nargs), MemWriteAt: make([]bool, nargs),
+			Witnesses: 1}
+	}
+	at := &dfg.AttribTable{Sigs: map[string]*dfg.SigAttrib{}, ExternalIn: map[string]bool{}}
+	ld := sig("xld:reg,mem", 2)
+	ld.PosWrite[0] = true
+	st := sig("xst:reg,mem", 2)
+	st.PosRead[0] = true
+	st.MemWriteAt[1] = true
+	add := sig("xadd:reg,reg", 2)
+	add.PosRead[0], add.PosRead[1], add.PosWrite[0] = true, true, true
+	neg := sig("xneg:reg", 1)
+	neg.PosRead[0], neg.PosWrite[0] = true, true
+	ci := sig("xci:reg,lit", 2)
+	ci.PosWrite[0] = true
+	cmp := sig("xcmp:reg,reg", 2)
+	cmp.PosRead[0], cmp.PosRead[1] = true, true
+	call0 := sig("xcall:sym=P0", 1)
+	call0.ImplicitDefs = []string{"r1"}
+	call1 := sig("xcall:sym=P", 1)
+	call1.ImplicitReads, call1.ImplicitDefs = []string{"r1"}, []string{"r1"}
+	call2 := sig("xcall:sym=P2", 1)
+	call2.ImplicitReads, call2.ImplicitDefs = []string{"r1", "r2"}, []string{"r1"}
+	for _, sa := range []*dfg.SigAttrib{ld, st, add, neg, ci, cmp, call0, call1, call2,
+		sig("xb:label", 1), sig("xjmp:label", 1)} {
+		at.Sigs[sa.Sig] = sa
+	}
+	return at
+}
+
+// runToy verifies a fresh toy description after applying a corruption.
+func runToy(t *testing.T, corrupt func(*discovery.Model, *synth.Spec, *dfg.AttribTable)) []check.Diagnostic {
+	t.Helper()
+	m, s, at := toyModel(), toySpec(), toyAttrib()
+	if corrupt != nil {
+		corrupt(m, s, at)
+	}
+	return Verify(m, s, at)
+}
+
+// expectOne asserts the corruption fired exactly one diagnostic of the
+// given code and severity.
+func expectOne(t *testing.T, diags []check.Diagnostic, code string, sev check.Severity) check.Diagnostic {
+	t.Helper()
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 %s:\n%v", len(diags), code, diags)
+	}
+	if diags[0].Code != code || diags[0].Severity != sev {
+		t.Fatalf("got %s/%v, want %s/%v: %s",
+			diags[0].Code, diags[0].Severity, code, sev, diags[0].Message)
+	}
+	return diags[0]
+}
+
+func TestCleanToyDescriptionVerifies(t *testing.T) {
+	if diags := runToy(t, nil); len(diags) != 0 {
+		t.Errorf("clean description drew %d diagnostics:\n%v", len(diags), diags)
+	}
+}
+
+func TestSA020UncoveredDemand(t *testing.T) {
+	d := expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		delete(s.Ops, ir.Shr)
+	}), check.CodeUncoveredDemand, check.Error)
+	// One aggregated diagnostic lists every stranded valuation vector.
+	for _, vals := range []string{"[slot,slot]", "[slot,imm]", "[imm,slot]", "[imm,imm]"} {
+		if !strings.Contains(d.Message, vals) {
+			t.Errorf("SA020 message misses valuation %s: %s", vals, d.Message)
+		}
+	}
+}
+
+func TestSA020DeclaredGapIsWarning(t *testing.T) {
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		delete(s.Ops, ir.Shr)
+		s.Gaps = []string{"Shr"}
+	}), check.CodeUncoveredDemand, check.Warning)
+}
+
+func TestSA020ConstGapStrandsImmediates(t *testing.T) {
+	// Without the Const rule, no literal can ever be materialized into a
+	// slot: every imm-carrying demand fails alongside Const itself.
+	diags := runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Const = nil
+	})
+	if len(diags) < 2 {
+		t.Fatalf("Const removal strands the imm class; got only %v", diags)
+	}
+	for _, d := range diags {
+		if d.Code != check.CodeUncoveredDemand {
+			t.Errorf("unexpected %s: %s", d.Code, d.Message)
+		}
+	}
+}
+
+func TestSA021DeadRule(t *testing.T) {
+	d := expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Ops[ir.Load] = tmpl("dead", 2, "\txld r1, {src1}", "\txst r1, {dst}")
+	}), check.CodeDeadRule, check.Error)
+	if !strings.Contains(d.Message, "Load") {
+		t.Errorf("SA021 message does not name the dead rule: %s", d.Message)
+	}
+}
+
+func TestSA021UnwitnessedChainPremise(t *testing.T) {
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Chains = []synth.ChainRule{{ModeA: "⟨n⟩[zz]", ModeB: "(fp)", Constant: 0}}
+	}), check.CodeDeadRule, check.Error)
+}
+
+func TestSA022ShadowedChain(t *testing.T) {
+	d := expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Chains = append(s.Chains, synth.ChainRule{ModeA: "⟨n⟩(fp)", ModeB: "⟨n⟩", Constant: 0})
+	}), check.CodeShadowedRule, check.Error)
+	if !strings.Contains(d.Message, "shadowed by rule 0") {
+		t.Errorf("SA022 message does not name the shadowing rule: %s", d.Message)
+	}
+}
+
+func TestSA023RewriteCycle(t *testing.T) {
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Chains = []synth.ChainRule{{ModeA: "⟨n⟩(fp)", ModeB: "⟨n⟩(fp)", Constant: 1}}
+	}), check.CodeRewriteCycle, check.Error)
+}
+
+func TestSA023DishonestCost(t *testing.T) {
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Move.Instrs = 5
+	}), check.CodeRewriteCycle, check.Error)
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Jump.Instrs = 0
+	}), check.CodeRewriteCycle, check.Error)
+}
+
+func TestSA024DroppedStore(t *testing.T) {
+	d := expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Move = tmpl("move", 1, "\txld r1, {src1}")
+	}), check.CodeFootprintMismatch, check.Error)
+	if !strings.Contains(d.Message, "never writes its destination") {
+		t.Errorf("SA024 message: %s", d.Message)
+	}
+}
+
+func TestSA024WriteOutsideDestination(t *testing.T) {
+	d := expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		// An extra store lands in {src1}: a write outside the destination.
+		// The destination is still written, so this is the ONLY violated
+		// clause.
+		s.Move = tmpl("move", 3, "\txld r1, {src1}", "\txst r1, {dst}", "\txst r1, {src1}")
+	}), check.CodeFootprintMismatch, check.Error)
+	if !strings.Contains(d.Message, "writes cell") {
+		t.Errorf("SA024 message: %s", d.Message)
+	}
+}
+
+func TestSA024UnaccountedRegisterRead(t *testing.T) {
+	d := expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		// r2 is never defined inside the template and nothing (frame
+		// model, hardwired constant, live-in) accounts for its value.
+		s.Const = tmpl("const", 2, "\txci r1, {k}", "\txst r2, {dst}")
+	}), check.CodeFootprintMismatch, check.Error)
+	if !strings.Contains(d.Message, "reads register r2") {
+		t.Errorf("SA024 message: %s", d.Message)
+	}
+}
+
+func TestSA024MissingBranchLabel(t *testing.T) {
+	d := expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Branches[ir.EQ] = tmpl("branch", 3,
+			"\txld r1, {src1}", "\txld r2, {src2}", "\txcmp r1, r2")
+	}), check.CodeFootprintMismatch, check.Error)
+	if !strings.Contains(d.Message, "{label}") {
+		t.Errorf("SA024 message: %s", d.Message)
+	}
+}
+
+func TestSA025EmptyImmediateRange(t *testing.T) {
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		m.ImmRange["xci:1"] = [2]int64{5, -5}
+	}), check.CodeStructuralInvariant, check.Error)
+}
+
+func TestSA025RegisterPartition(t *testing.T) {
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		m.Registers = append(m.Registers, "r9") // listed but not a member
+	}), check.CodeStructuralInvariant, check.Error)
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		m.Hardwired["zero"] = 0 // hardwired outside the register class
+	}), check.CodeStructuralInvariant, check.Error)
+}
+
+func TestSA025CalleeConvention(t *testing.T) {
+	expectOne(t, runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Callees[2].LocalBase = -1
+	}), check.CodeStructuralInvariant, check.Error)
+}
+
+// Unknown template lines must disable completeness checks (a partially
+// witnessed template can fail soundness, never completeness) — the rule
+// whose store line uses an unwitnessed opcode draws no diagnostics.
+func TestUnknownLinesSuppressCompleteness(t *testing.T) {
+	if diags := runToy(t, func(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) {
+		s.Move = tmpl("move", 2, "\txld r1, {src1}", "\txstv r1, {dst}")
+	}); len(diags) != 0 {
+		t.Errorf("partially witnessed template drew completeness diagnostics:\n%v", diags)
+	}
+}
+
+// A nil attribution table (re-verifying a served spec without its run
+// state) skips the symbolic pass but still runs the structural ones.
+func TestVerifyWithoutAttrib(t *testing.T) {
+	m, s := toyModel(), toySpec()
+	if diags := Verify(m, s, nil); len(diags) != 0 {
+		t.Errorf("clean description with nil attrib drew:\n%v", diags)
+	}
+	s.Move = tmpl("move", 1, "\txld r1, {src1}") // SA024-only defect
+	if diags := Verify(m, s, nil); len(diags) != 0 {
+		t.Errorf("symbolic pass ran without an attribution table:\n%v", diags)
+	}
+	m.WordBits = 0 // SA025 defect still caught
+	if diags := Verify(m, s, nil); len(diags) != 1 || diags[0].Code != check.CodeStructuralInvariant {
+		t.Errorf("structural pass missing without attrib:\n%v", diags)
+	}
+}
+
+// The demand table itself: every emitter-reachable rule appears, and the
+// fixpoint facts section of the closure is exercised end to end by the
+// clean-description test above.
+func TestFrontEndDemandTable(t *testing.T) {
+	rules := map[string]bool{}
+	for _, d := range FrontEndDemands() {
+		rules[d.Rule] = true
+	}
+	for _, want := range []string{"Op/Add", "Op/Shr", "Op/Neg", "Move", "Const",
+		"Branch/EQ", "Branch/GE", "Jump", "Call0", "Call1", "Call2", "Print", "Exit"} {
+		if !rules[want] {
+			t.Errorf("demand table misses rule %s", want)
+		}
+	}
+}

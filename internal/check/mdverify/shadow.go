@@ -1,0 +1,130 @@
+package mdverify
+
+import (
+	"strings"
+
+	"srcg/internal/check"
+	"srcg/internal/discovery"
+	"srcg/internal/lexer"
+	"srcg/internal/synth"
+)
+
+// Shadowing runs the overlap pass (SA022) and the cost-monotonicity
+// pass (SA023).
+//
+// Chain rules fire by pattern: the first rule whose premise mode and
+// condition constant match wins, so a later rule with an identical
+// (mode, constant) pair can never fire — pairwise pattern intersection
+// over the finite condition space reduces to this key comparison
+// (SA022). Chains carry cost 0; rewriting therefore terminates only if
+// the chain graph is acyclic — any cycle lets the rewriter loop without
+// ever decreasing cost (SA023). The same monotonicity argument needs
+// every template's declared cost to be honest: the rule selector
+// compares costs to pick covers, and a cost that disagrees with the
+// instructions the template actually emits (or a non-positive cost)
+// breaks the ordering the termination proof rests on.
+func Shadowing(m *discovery.Model, s *synth.Spec) []check.Diagnostic {
+	var diags []check.Diagnostic
+
+	// SA022: a chain rule shadowed by an earlier one with the same
+	// premise mode and condition constant.
+	type chainKey struct {
+		mode     string
+		constant int64
+	}
+	first := map[chainKey]int{}
+	for i, c := range s.Chains {
+		k := chainKey{c.ModeA, c.Constant}
+		if j, ok := first[k]; ok {
+			diags = append(diags, errf(check.CodeShadowedRule,
+				"chain rule %d (%s -> %s, offset=%d) is shadowed by rule %d matching the same pattern; it can never fire",
+				i, c.ModeA, c.ModeB, c.Constant, j))
+			continue
+		}
+		first[k] = i
+	}
+
+	// SA023: cycles in the zero-cost chain graph.
+	next := map[string][]string{}
+	for _, c := range s.Chains {
+		next[c.ModeA] = append(next[c.ModeA], c.ModeB)
+	}
+	// Deterministic DFS order: chains are a slice, so walk premises in
+	// first-occurrence order.
+	seenPremise := map[string]bool{}
+	var modes []string
+	for _, c := range s.Chains {
+		if !seenPremise[c.ModeA] {
+			seenPremise[c.ModeA] = true
+			modes = append(modes, c.ModeA)
+		}
+	}
+	state := map[string]int{} // 0 unvisited, 1 on stack, 2 done
+	reported := false
+	var visit func(mode string, path []string)
+	visit = func(mode string, path []string) {
+		state[mode] = 1
+		for _, to := range next[mode] {
+			switch state[to] {
+			case 1:
+				if !reported {
+					reported = true
+					cycle := append(append([]string{}, path...), mode, to)
+					diags = append(diags, errf(check.CodeRewriteCycle,
+						"chain rules form a zero-cost rewrite cycle %s; rewriting cannot be proven to terminate",
+						strings.Join(cycle[indexOf(cycle, to):], " -> ")))
+				}
+			case 0:
+				visit(to, append(path, mode))
+			}
+		}
+		state[mode] = 2
+	}
+	for _, mode := range modes {
+		if state[mode] == 0 {
+			visit(mode, nil)
+		}
+	}
+
+	// SA023: cost honesty per rule.
+	for _, nr := range check.SpecRules(s) {
+		n := instructionCount(nr.T.Lines)
+		if nr.T.Instrs <= 0 {
+			diags = append(diags, errf(check.CodeRewriteCycle,
+				"rule %s declares non-positive cost %d; a zero-cost cover breaks the rewrite ordering",
+				nr.Name, nr.T.Instrs))
+			continue
+		}
+		if nr.T.Instrs != n {
+			diags = append(diags, errf(check.CodeRewriteCycle,
+				"rule %s declares cost %d but emits %d instructions; the cost ordering is dishonest",
+				nr.Name, nr.T.Instrs, n))
+		}
+	}
+	return diags
+}
+
+// instructionCount counts the machine instructions among template lines,
+// skipping blanks, directives, and pure label definitions — the same
+// counting the synthesizer's Instrs statistic uses.
+func instructionCount(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		op, _ := lexer.SplitLine(strings.TrimSpace(l))
+		if op == "" || strings.HasPrefix(op, ".") || strings.HasSuffix(op, ":") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// indexOf returns the first index of x in xs (list is known to hold x).
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,265 @@
+package mdverify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"srcg/internal/check"
+	"srcg/internal/dfg"
+	"srcg/internal/discovery"
+	"srcg/internal/ir"
+	"srcg/internal/lexer"
+	"srcg/internal/synth"
+)
+
+// ruleShape describes which placeholders a rule class binds and what
+// its footprint must look like.
+type ruleShape struct {
+	srcs     []string // source placeholders the template must read
+	dst      bool     // the template must write {dst}, and only {dst}
+	label    bool     // the template must reference {label}
+	noMemOps bool     // the template must touch no operand cells at all (Jump)
+}
+
+// Symbolic verifies each rule's assembly template abstractly (SA024):
+// the template is rendered with distinguishable operand cells, its
+// lines are classified under the syntax model exactly as sample
+// instructions are, and the sequence is interpreted through the dfg
+// port machinery against the mutation-analysis attribution table. The
+// resulting footprint must match the rule's contract — every source
+// cell read, the destination cell written and nothing else, no frame
+// cell touched the rule has no operand for, and no register consumed
+// whose value neither the frame model, a hardwired constant, a
+// witnessed live-in, nor an earlier template line accounts for.
+//
+// Lines whose signature the table has no witnesses for contribute
+// nothing (probe-derived sequences, delay-slot fillers); the
+// completeness checks (cell must be read/written) only run when every
+// line was interpreted, so a partially witnessed template can fail
+// soundness checks but never completeness ones.
+func Symbolic(m *discovery.Model, s *synth.Spec, at *dfg.AttribTable) []check.Diagnostic {
+	var diags []check.Diagnostic
+	slots := s.Main.Slots
+	if !strings.Contains(slots.Pattern, "%d") {
+		return nil // no frame model: nothing to render operands with
+	}
+	sub := map[string]string{
+		"src1": slots.Slot(10), "src2": slots.Slot(11), "dst": slots.Slot(12),
+		"k": "1", "label": "MDVL", "fn": "P",
+	}
+	// Call-instruction signatures key on the callee symbol, and the
+	// attribution of a call IS arity-specific: the arity-1 witness reads
+	// the first argument register, the arity-0 witness reads none. So
+	// {fn} renders per rule as the discovery sample set's callee of the
+	// matching arity (gen: P0/P/P2) — the only symbols whose call lines
+	// have witnesses at all.
+	calleeByArity := map[int]string{0: "P0", 1: "P", 2: "P2"}
+	cell := map[string]string{
+		"src1": dfg.NormalizeAddr(sub["src1"]),
+		"src2": dfg.NormalizeAddr(sub["src2"]),
+		"dst":  dfg.NormalizeAddr(sub["dst"]),
+	}
+	frameRegs := map[string]bool{}
+	for _, r := range lexer.ClassifyText(m, slots.Slot(0)).Regs {
+		frameRegs[r] = true
+	}
+	// Every rule executes inside main's body, after the frame prologue.
+	// Registers the prologue defines — and those it consumes from the
+	// environment itself (the OS-established stack pointer) — are
+	// accounted-for values a template may legitimately read.
+	envRegs := map[string]bool{}
+	proFP := at.Footprint(m, classifyTemplate(m, s.Main.RenderHeader(16)))
+	for reg := range proFP.RegWrites {
+		envRegs[reg] = true
+	}
+	for reg := range proFP.ExtReads {
+		envRegs[reg] = true
+	}
+
+	for _, nr := range check.SpecRules(s) {
+		shape, ok := shapeOf(nr.Name)
+		if !ok {
+			continue // probe-derived rules (Print) are outside the contract
+		}
+		rsub := sub
+		if strings.HasPrefix(nr.Name, "Call") {
+			var n int
+			fmt.Sscanf(nr.Name, "Call%d", &n)
+			if sym, ok := calleeByArity[n]; ok {
+				rsub = map[string]string{}
+				for k, v := range sub {
+					rsub[k] = v
+				}
+				rsub["fn"] = sym
+			}
+		}
+		instrs := classifyTemplate(m, nr.T.Render(rsub))
+		fp := at.Footprint(m, instrs)
+		if fp.Known == 0 {
+			continue // nothing interpretable: no witnesses to compare against
+		}
+		complete := len(fp.Unknown) == 0
+
+		allowed := map[string]bool{}
+		for _, src := range shape.srcs {
+			allowed[cell[src]] = true
+		}
+		if shape.dst {
+			allowed[cell["dst"]] = true
+		}
+
+		// Soundness: no write outside the destination cell.
+		for _, addr := range sortedSet(fp.MemWrites) {
+			if !shape.dst || addr != cell["dst"] {
+				diags = append(diags, errf(check.CodeFootprintMismatch,
+					"rule %s writes cell %s, which is not its destination operand", nr.Name, addr))
+			}
+		}
+		// Soundness: no operand-class cell read the rule has no operand
+		// for (stack-convention cells off the frame class are the call
+		// templates' business, not the rule contract's).
+		for _, addr := range sortedSet(fp.MemReads) {
+			if !allowed[addr] && inFrameClass(m, addr, frameRegs) {
+				diags = append(diags, errf(check.CodeFootprintMismatch,
+					"rule %s reads frame cell %s, which is none of its operands", nr.Name, addr))
+			}
+			if shape.noMemOps && inFrameClass(m, addr, frameRegs) {
+				diags = append(diags, errf(check.CodeFootprintMismatch,
+					"rule %s touches cell %s but takes no value operands", nr.Name, addr))
+			}
+		}
+		// Soundness: every register consumed from outside the template
+		// must be accounted for.
+		for _, reg := range sortedSet(fp.ExtReads) {
+			if frameRegs[reg] || envRegs[reg] || at.ExternalIn[reg] {
+				continue
+			}
+			if _, hard := m.Hardwired[reg]; hard {
+				continue
+			}
+			diags = append(diags, errf(check.CodeFootprintMismatch,
+				"rule %s reads register %s before any template line defines it, and no attribution accounts for the value",
+				nr.Name, reg))
+		}
+		// Completeness (full interpretation only): sources read,
+		// destination written, label referenced.
+		if complete {
+			for _, src := range shape.srcs {
+				if !fp.MemReads[cell[src]] {
+					diags = append(diags, errf(check.CodeFootprintMismatch,
+						"rule %s never reads its source operand {%s} (cell %s)", nr.Name, src, cell[src]))
+				}
+			}
+			if shape.dst && !fp.MemWrites[cell["dst"]] {
+				diags = append(diags, errf(check.CodeFootprintMismatch,
+					"rule %s never writes its destination operand {dst} (cell %s)", nr.Name, cell["dst"]))
+			}
+		}
+		if shape.label && !referencesLabel(instrs, "MDVL") {
+			diags = append(diags, errf(check.CodeFootprintMismatch,
+				"rule %s never references its {label} operand; the transfer has no target", nr.Name))
+		}
+	}
+	return diags
+}
+
+// shapeOf maps a rule display name to its contract.
+func shapeOf(name string) (ruleShape, bool) {
+	switch {
+	case strings.HasPrefix(name, "Op/"):
+		op, ok := opByName(strings.TrimPrefix(name, "Op/"))
+		if !ok || (!op.IsBinary() && !op.IsUnary()) {
+			return ruleShape{}, false // dead rules are SA021's finding, not SA024's
+		}
+		if op.IsUnary() {
+			return ruleShape{srcs: []string{"src1"}, dst: true}, true
+		}
+		return ruleShape{srcs: []string{"src1", "src2"}, dst: true}, true
+	case name == "Move":
+		return ruleShape{srcs: []string{"src1"}, dst: true}, true
+	case name == "Const":
+		return ruleShape{dst: true}, true
+	case strings.HasPrefix(name, "Branch/"):
+		return ruleShape{srcs: []string{"src1", "src2"}, label: true}, true
+	case name == "Jump":
+		return ruleShape{label: true, noMemOps: true}, true
+	case strings.HasPrefix(name, "Call"):
+		var n int
+		fmt.Sscanf(name, "Call%d", &n)
+		srcs := make([]string, 0, n)
+		for i := 1; i <= n && i <= 2; i++ {
+			srcs = append(srcs, fmt.Sprintf("src%d", i))
+		}
+		return ruleShape{srcs: srcs, dst: true}, true
+	}
+	return ruleShape{}, false
+}
+
+// opByName resolves an operator display name ("Add") back to its ir.Op.
+func opByName(name string) (ir.Op, bool) {
+	for op := ir.Const; op <= ir.Call; op++ {
+		if op.String() == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// classifyTemplate turns rendered template lines into classified
+// instructions, with the rendered branch label in scope so targets
+// classify as label references — precisely how the same text would
+// classify inside a sample.
+func classifyTemplate(m *discovery.Model, lines []string) []discovery.Instr {
+	var out []discovery.Instr
+	labels := map[string]bool{"MDVL": true}
+	for _, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.Contains(line, "{") {
+			continue // unrendered placeholders have no instruction syntax
+		}
+		op, args := lexer.SplitLine(line)
+		if op == "" || strings.HasPrefix(op, ".") || strings.HasSuffix(op, ":") {
+			continue
+		}
+		ins := discovery.Instr{Op: op}
+		for _, text := range args {
+			ins.Args = append(ins.Args, lexer.ClassifyTextIn(m, labels, text))
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+// referencesLabel reports whether any instruction references the label.
+func referencesLabel(instrs []discovery.Instr, label string) bool {
+	for _, ins := range instrs {
+		for _, arg := range ins.Args {
+			if (arg.Kind == discovery.KLabelRef || arg.Kind == discovery.KSym) && arg.Sym == label {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inFrameClass reports whether a cell address is based on a frame
+// register — an operand-class cell the rule contract governs.
+func inFrameClass(m *discovery.Model, addr string, frameRegs map[string]bool) bool {
+	for _, r := range lexer.ClassifyText(m, addr).Regs {
+		if frameRegs[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedSet returns a bool-set's members in sorted order.
+func sortedSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

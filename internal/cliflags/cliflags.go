@@ -23,6 +23,7 @@ type Common struct {
 	Seed         int64
 	Full         bool
 	SignedShifts bool
+	MD           bool
 	Workers      int
 	Cache        bool
 	Faults       string
@@ -38,6 +39,8 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Full, "full", false, "use the complete operand-shape sample set")
 	fs.BoolVar(&c.SignedShifts, "signedshifts", false,
 		"enable the signed-count shift primitive (extension beyond the paper; resolves the VAX ashl limitation)")
+	fs.BoolVar(&c.MD, "md", false,
+		"run the semantic machine-description analyzer (SA020-SA025): coverage closure, rule shadowing, symbolic template verification (implies the checker)")
 	fs.IntVar(&c.Workers, "workers", 1,
 		"probe-pool width: independent probes fan out over this many goroutines (results are byte-identical at any width)")
 	fs.BoolVar(&c.Cache, "cache", false,
@@ -75,6 +78,8 @@ func (c *Common) Options(tr *obs.Tracer) srcg.Options {
 		Seed:         c.Seed,
 		Full:         c.Full,
 		SignedShifts: c.SignedShifts,
+		Check:        c.MD, // -md implies the checker layer
+		CheckMD:      c.MD,
 		Workers:      c.Workers,
 		Trace:        tr,
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"srcg/internal/check"
+	"srcg/internal/check/mdverify"
 	"srcg/internal/dfg"
 	"srcg/internal/discovery"
 	"srcg/internal/extract"
@@ -44,6 +45,11 @@ type Options struct {
 	// every data-flow graph and the synthesized spec, attaching a
 	// CheckReport to the Discovery.
 	Check bool
+	// CheckMD additionally runs the semantic machine-description
+	// analyzer (internal/check/mdverify, SA020–SA025) over the
+	// synthesized spec: coverage closure, rule shadowing, symbolic
+	// template verification, structural invariants. Implies Check.
+	CheckMD bool
 	// ProbeRetries caps the transient-fault retries the probe layer spends
 	// per toolchain interaction (0 = probe.DefaultRetries).
 	ProbeRetries int
@@ -119,6 +125,11 @@ type Discovery struct {
 	Engine   *mutate.Engine
 	Spec     *synth.Spec
 	SpecErr  error // non-fatal synthesis failure ("almost correct" specs)
+	// Attrib is the per-signature attribution table aggregated from the
+	// surviving analyses — what the machine-description analyzer
+	// verifies templates against, retained so a served or cached spec
+	// can be re-verified without re-running discovery (MDVerify).
+	Attrib *dfg.AttribTable
 	// Skipped samples (preprocessing failures), with reasons.
 	Skipped map[string]string
 	// CheckReport holds the static verifier's findings (Options.Check).
@@ -143,6 +154,9 @@ type Discovery struct {
 func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 	if opts.Weights == (extract.Weights{}) {
 		opts.Weights = extract.DefaultWeights
+	}
+	if opts.CheckMD {
+		opts.Check = true // the MD analyzer extends the checker layer
 	}
 	tr := opts.Trace
 	if tr == nil {
@@ -393,6 +407,10 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 				rep.Add(check.LintSpec(model, spec)...)
 				rep.Add(check.LintHiddenPairs(d.Analyses, spec)...)
 			}
+			if opts.CheckMD {
+				d.Attrib = dfg.BuildAttrib(model, d.Analyses, d.Slots)
+				rep.Add(d.MDVerify()...)
+			}
 			for _, name := range sortedKeys(d.Dropped) {
 				rep.Add(check.Diagnostic{Code: check.CodeSampleDropped, Severity: check.Warning,
 					Sample: name, Step: -1, Message: d.Dropped[name]})
@@ -406,7 +424,32 @@ func Discover(tc target.Toolchain, opts Options) (*Discovery, error) {
 	// source of truth shared with the trace stream and Report().
 	d.CheckRetried = int(tr.Counter(CtrCheckRetries))
 	d.ProbeStats = rig.ProbeStats()
+	if opts.Cache != nil {
+		// Occupancy gauges for the shared probe memo: how many logical
+		// probes this run left memoized and their approximate resident
+		// size. Unsealed (probe.* cache names), so warm and cold traces
+		// stay byte-identical.
+		tr.Gauge(probe.CtrCacheEntries, int64(opts.Cache.Len()))
+		tr.Gauge(probe.CtrCacheBytes, opts.Cache.Bytes())
+	}
 	return d, nil
+}
+
+// MDVerify runs the semantic machine-description analyzer (SA020–SA025)
+// over the discovery's synthesized spec: coverage closure, rule
+// shadowing, symbolic template verification against the attribution
+// table, and structural invariants. It works from retained state only —
+// no probes — so a served or cached spec can be re-verified at any
+// point. The attribution table is built lazily from the surviving
+// analyses if Discover did not populate it.
+func (d *Discovery) MDVerify() []check.Diagnostic {
+	if d.Model == nil || d.Spec == nil {
+		return nil
+	}
+	if d.Attrib == nil && len(d.Analyses) > 0 {
+		d.Attrib = dfg.BuildAttrib(d.Model, d.Analyses, d.Slots)
+	}
+	return mdverify.Verify(d.Model, d.Spec, d.Attrib)
 }
 
 // countErrors counts Error-severity diagnostics.
@@ -552,6 +595,12 @@ func (d *Discovery) Report() string {
 	}
 	fmt.Fprintf(&sb, "cost: %s\n", d.Rig.Stats())
 	fmt.Fprintf(&sb, "probe: %s\n", d.ProbeStats)
+	// Cache occupancy is a view over the unsealed gauges Discover set; a
+	// run without a shared cache never wrote them and prints nothing.
+	if n := d.Trace.Counter(probe.CtrCacheEntries); n > 0 {
+		fmt.Fprintf(&sb, "cache: entries=%d bytes=%d\n",
+			n, d.Trace.Counter(probe.CtrCacheBytes))
+	}
 	// Resilience numbers come from the tracer's counters — the same
 	// source the trace stream reports — falling back to the snapshot
 	// fields for hand-built Discovery values without a tracer.

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"srcg/internal/check"
+	"srcg/internal/target"
+	"srcg/internal/target/alpha"
+	"srcg/internal/target/mips"
+	"srcg/internal/target/sparc"
+	"srcg/internal/target/vax"
+	"srcg/internal/target/x86"
+)
+
+// mdCodes are the semantic machine-description analyzer's diagnostics.
+var mdCodes = map[string]bool{
+	check.CodeUncoveredDemand:     true,
+	check.CodeDeadRule:            true,
+	check.CodeShadowedRule:        true,
+	check.CodeRewriteCycle:        true,
+	check.CodeFootprintMismatch:   true,
+	check.CodeStructuralInvariant: true,
+}
+
+// Every built-in target's discovered machine description must pass the
+// semantic analyzer with zero suppressions: the coverage fixpoint proves
+// full IR-operator coverage, no rule is dead or shadowed, every template
+// footprint matches its contract, and the structural invariants hold.
+// VAX runs with the signed-shift extension — without it, Shr is a
+// declared gap, pinned separately below.
+func TestMDVerifyAllTargetsClean(t *testing.T) {
+	for _, tc := range []target.Toolchain{x86.New(), sparc.New(), mips.New(), alpha.New(), vax.New()} {
+		tc := tc
+		t.Run(tc.Name(), func(t *testing.T) {
+			opts := Options{Seed: 11, CheckMD: true}
+			if tc.Name() == "vax" {
+				opts.SignedShifts = true
+			}
+			d, err := Discover(tc, opts)
+			if err != nil {
+				t.Fatalf("Discover: %v", err)
+			}
+			if d.Attrib == nil {
+				t.Fatal("CheckMD run retained no attribution table")
+			}
+			for _, dg := range d.CheckReport.Diags {
+				if mdCodes[dg.Code] {
+					t.Errorf("MD diagnostic on a clean target: %s", dg.String())
+				}
+			}
+		})
+	}
+}
+
+// Without the signed-shift extension, VAX's Shr limitation (§5.2.3) is a
+// declared gap: the coverage pass reports it as a warning naming the
+// gap, never as an error — the gate stays green while the hole stays
+// visible.
+func TestMDVerifyVAXDeclaredGap(t *testing.T) {
+	d, err := Discover(vax.New(), Options{Seed: 11, CheckMD: true})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	var mdDiags []check.Diagnostic
+	for _, dg := range d.CheckReport.Diags {
+		if mdCodes[dg.Code] {
+			mdDiags = append(mdDiags, dg)
+		}
+	}
+	if len(mdDiags) != 1 {
+		t.Fatalf("got %d MD diagnostics, want exactly the declared Shr gap:\n%v", len(mdDiags), mdDiags)
+	}
+	dg := mdDiags[0]
+	if dg.Code != check.CodeUncoveredDemand || dg.Severity != check.Warning {
+		t.Errorf("declared gap reported as %s/%v, want SA020 warning", dg.Code, dg.Severity)
+	}
+	if !strings.Contains(dg.Message, "declared gap") || !strings.Contains(dg.Message, "Shr") {
+		t.Errorf("gap message does not name the declared gap: %s", dg.Message)
+	}
+}
+
+// MDVerify re-runs from retained state alone — a served or cached spec
+// is re-verifiable without touching the toolchain again.
+func TestMDVerifyFromRetainedState(t *testing.T) {
+	d, err := Discover(x86.New(), Options{Seed: 11, CheckMD: true})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	probesBefore := d.Rig.Stats()
+	if diags := d.MDVerify(); len(diags) != 0 {
+		t.Errorf("re-verification of a clean spec drew:\n%v", diags)
+	}
+	if after := d.Rig.Stats(); after != probesBefore {
+		t.Errorf("MDVerify touched the toolchain: %+v -> %+v", probesBefore, after)
+	}
+
+	// A Check-only run retains enough state for a lazy re-verification.
+	d2, err := Discover(x86.New(), Options{Seed: 11, Check: true})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if d2.Attrib != nil {
+		t.Error("Check-only run eagerly built the attribution table")
+	}
+	if diags := d2.MDVerify(); len(diags) != 0 {
+		t.Errorf("lazy re-verification drew:\n%v", diags)
+	}
+	if d2.Attrib == nil {
+		t.Error("MDVerify did not build the attribution table lazily")
+	}
+}

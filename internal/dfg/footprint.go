@@ -1,0 +1,286 @@
+// Footprint extraction: the machine-description analyzer
+// (internal/check/mdverify) needs to interpret a synthesized rule's
+// rendered template abstractly — through the same port machinery Build
+// uses on sample regions — and compare the resulting read/write/clobber
+// surface against the semantics mutation analysis attributed to the
+// instructions involved. This file aggregates the per-signature
+// attributions of a run into an AttribTable and evaluates instruction
+// sequences against it.
+package dfg
+
+import (
+	"sort"
+
+	"srcg/internal/discovery"
+	"srcg/internal/mutate"
+)
+
+// SigAttrib is the aggregated mutation-analysis attribution of one
+// instruction signature across every witnessing sample group.
+type SigAttrib struct {
+	Sig   string
+	NArgs int
+	// PosRead/PosWrite mark explicit register operand positions some
+	// witness read or defined (union: a position read by any witness is
+	// a read).
+	PosRead, PosWrite []bool
+	// MemWriteAt marks memory operand positions witnessed writing the
+	// sample's output cell (the §4 memory-writer probe) — the only
+	// positions a template may store through.
+	MemWriteAt []bool
+	// ImplicitReads holds registers every witness read implicitly
+	// (intersection: a call instruction witnessed at several arities
+	// must not claim the union of all argument registers).
+	ImplicitReads []string
+	// ImplicitDefs holds registers any witness defined implicitly
+	// (union: clobbers accumulate).
+	ImplicitDefs []string
+	// Witnesses counts the groups that contributed.
+	Witnesses int
+}
+
+// AttribTable indexes the aggregated attributions by signature, plus the
+// registers any sample saw flowing into its region from outside
+// (frame/stack pointers, environment registers).
+type AttribTable struct {
+	Sigs       map[string]*SigAttrib
+	ExternalIn map[string]bool
+}
+
+// BuildAttrib aggregates the mutation-analysis attributions of a run
+// into a per-signature table. Iteration is in sorted sample-name order,
+// so the table — including the implicit-read intersections — is a pure
+// function of the analyses.
+func BuildAttrib(m *discovery.Model, analyses map[string]*mutate.Analysis, slots Slots) *AttribTable {
+	at := &AttribTable{Sigs: map[string]*SigAttrib{}, ExternalIn: map[string]bool{}}
+	names := make([]string, 0, len(analyses))
+	for name := range analyses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := analyses[name]
+		for _, reg := range a.ExternalIn {
+			at.ExternalIn[reg] = true
+		}
+		for grp := range a.Groups {
+			ins := a.GroupInstr(grp)
+			if ins == nil || ins.Op == "" {
+				continue
+			}
+			if a.Filler[a.Groups[grp][0]] && a.Groups[grp][1]-a.Groups[grp][0] == 1 {
+				continue // pure filler group: no attributed semantics
+			}
+			at.witness(m, a, slots, grp, ins)
+		}
+	}
+	return at
+}
+
+// witness folds one sample group into the signature's attribution.
+func (at *AttribTable) witness(m *discovery.Model, a *mutate.Analysis, slots Slots, grp int, ins *discovery.Instr) {
+	sig := ins.Signature()
+	sa := at.Sigs[sig]
+	if sa == nil {
+		sa = &SigAttrib{Sig: sig, NArgs: len(ins.Args),
+			PosRead:    make([]bool, len(ins.Args)),
+			PosWrite:   make([]bool, len(ins.Args)),
+			MemWriteAt: make([]bool, len(ins.Args))}
+		at.Sigs[sig] = sa
+	}
+	span := a.Groups[grp]
+	writesA := a.AWriter >= span[0] && a.AWriter < span[1]
+	// Memory-writer attribution needs an unambiguous witness: when the
+	// output cell aliases more than one operand position (a = a op b
+	// renders slot A as both a source and the destination), which position
+	// wrote cannot be told apart, and attributing all of them would brand
+	// read positions as writers. Such witnesses contribute register
+	// attributions only.
+	aliased := 0
+	if writesA {
+		for _, arg := range ins.Args {
+			if (arg.Kind == discovery.KMem || arg.Kind == discovery.KSym) &&
+				normalizeAddr(arg.Text) == slots.A {
+				aliased++
+			}
+		}
+	}
+	writesA = writesA && aliased == 1
+	explicit := map[string]bool{}
+	for i, arg := range ins.Args {
+		if i >= sa.NArgs {
+			break // defensive: signatures fix the arity
+		}
+		switch arg.Kind {
+		case discovery.KReg:
+			reg := arg.Regs[0]
+			if _, hard := m.Hardwired[reg]; hard {
+				continue // a hardwired register is a constant operand
+			}
+			explicit[reg] = true
+			if containsInt(a.Reads[reg], grp) {
+				sa.PosRead[i] = true
+			}
+			if containsInt(a.Defs[reg], grp) {
+				sa.PosWrite[i] = true
+			}
+		case discovery.KMem:
+			if writesA && normalizeAddr(arg.Text) == slots.A {
+				sa.MemWriteAt[i] = true
+			}
+		case discovery.KSym:
+			// Call targets carry no data footprint; data symbols are
+			// memory cells like KMem.
+			if !looksLikeCallTarget(ins.Op, i, len(ins.Args)) &&
+				writesA && normalizeAddr(arg.Text) == slots.A {
+				sa.MemWriteAt[i] = true
+			}
+		}
+	}
+	var implicitReads []string
+	for _, reg := range sortedRegs(a.Reads) {
+		if containsInt(a.Reads[reg], grp) && !explicit[reg] {
+			implicitReads = append(implicitReads, reg)
+		}
+	}
+	if sa.Witnesses == 0 {
+		sa.ImplicitReads = implicitReads
+	} else {
+		sa.ImplicitReads = intersectStrings(sa.ImplicitReads, implicitReads)
+	}
+	for _, reg := range sortedRegs(a.Defs) {
+		if containsInt(a.Defs[reg], grp) && !explicit[reg] {
+			sa.ImplicitDefs = unionString(sa.ImplicitDefs, reg)
+		}
+	}
+	sa.Witnesses++
+}
+
+// Footprint is the abstract effect surface of one instruction sequence:
+// which memory cells it reads and writes, which registers it consumes
+// from outside the sequence, and which it clobbers. Instruction
+// signatures the table has no witnesses for contribute nothing and are
+// listed in Unknown — probe-derived tails and delay-slot fillers fall
+// out there by construction.
+type Footprint struct {
+	MemReads  map[string]bool
+	MemWrites map[string]bool
+	// ExtReads are registers read before any in-sequence definition —
+	// values the sequence assumes exist.
+	ExtReads map[string]bool
+	// RegWrites are registers the sequence defines (the clobber set).
+	RegWrites map[string]bool
+	Unknown   []string // signatures without attribution, in line order
+	Known     int      // instructions interpreted through the table
+}
+
+// Footprint abstractly interprets a classified instruction sequence
+// through the attribution table, mirroring the port wiring of Build:
+// explicit register operands read/write per attribution (with Build's
+// flow default when a witness was silent), memory operands always read
+// and write only at attributed writer positions, implicit registers per
+// the aggregated attribution, hardwired registers as constants.
+func (at *AttribTable) Footprint(m *discovery.Model, instrs []discovery.Instr) Footprint {
+	fp := Footprint{
+		MemReads:  map[string]bool{},
+		MemWrites: map[string]bool{},
+		ExtReads:  map[string]bool{},
+		RegWrites: map[string]bool{},
+	}
+	defined := map[string]bool{}
+	for _, ins := range instrs {
+		sig := ins.Signature()
+		sa, ok := at.Sigs[sig]
+		if !ok {
+			fp.Unknown = append(fp.Unknown, sig)
+			continue
+		}
+		fp.Known++
+		explicit := map[string]bool{}
+		var writes []string
+		for i, arg := range ins.Args {
+			switch arg.Kind {
+			case discovery.KMem:
+				addr := normalizeAddr(arg.Text)
+				fp.MemReads[addr] = true
+				if i < len(sa.MemWriteAt) && sa.MemWriteAt[i] {
+					fp.MemWrites[addr] = true
+				}
+			case discovery.KSym:
+				if looksLikeCallTarget(ins.Op, i, len(ins.Args)) {
+					continue
+				}
+				addr := normalizeAddr(arg.Text)
+				fp.MemReads[addr] = true
+				if i < len(sa.MemWriteAt) && sa.MemWriteAt[i] {
+					fp.MemWrites[addr] = true
+				}
+			case discovery.KReg:
+				reg := arg.Regs[0]
+				if _, hard := m.Hardwired[reg]; hard {
+					continue
+				}
+				explicit[reg] = true
+				rd := i < len(sa.PosRead) && sa.PosRead[i]
+				wr := i < len(sa.PosWrite) && sa.PosWrite[i]
+				if !rd && !wr {
+					// Attribution silent: Build's flow default — input
+					// if something already defined it, else output.
+					if defined[reg] {
+						rd = true
+					} else {
+						wr = true
+					}
+				}
+				if rd && !defined[reg] {
+					fp.ExtReads[reg] = true
+				}
+				if wr {
+					writes = append(writes, reg)
+				}
+			}
+		}
+		for _, reg := range sa.ImplicitReads {
+			if !explicit[reg] && !defined[reg] {
+				fp.ExtReads[reg] = true
+			}
+		}
+		for _, reg := range sa.ImplicitDefs {
+			if !explicit[reg] {
+				writes = append(writes, reg)
+			}
+		}
+		// Definitions land after the instruction's reads: a use-def
+		// operand consumes the incoming value.
+		for _, reg := range writes {
+			defined[reg] = true
+			fp.RegWrites[reg] = true
+		}
+	}
+	return fp
+}
+
+// intersectStrings keeps the elements of a also present in b (order of a).
+func intersectStrings(a, b []string) []string {
+	inB := map[string]bool{}
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// unionString appends x to xs if absent, keeping insertion order.
+func unionString(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}

@@ -1,0 +1,158 @@
+package dfg
+
+import (
+	"reflect"
+	"testing"
+
+	"srcg/internal/discovery"
+	"srcg/internal/mutate"
+)
+
+func reg(r string) discovery.Operand {
+	return discovery.Operand{Text: r, Kind: discovery.KReg, Regs: []string{r}}
+}
+
+func mem(text string) discovery.Operand {
+	return discovery.Operand{Text: text, Kind: discovery.KMem, Regs: []string{"fp"}}
+}
+
+func instr(op string, args ...discovery.Operand) discovery.Instr {
+	return discovery.Instr{Op: op, Args: args}
+}
+
+func fpModel() *discovery.Model {
+	return &discovery.Model{
+		Registers: []string{"fp", "r1", "r2"},
+		RegSet:    map[string]bool{"fp": true, "r1": true, "r2": true},
+		Hardwired: map[string]int64{},
+	}
+}
+
+// oneGroup builds a single-instruction analysis with the given
+// per-group register attributions.
+func oneGroup(ins discovery.Instr, reads, defs map[string][]int, awriter int) *mutate.Analysis {
+	return &mutate.Analysis{
+		Region:  []discovery.Instr{ins},
+		Filler:  map[int]bool{},
+		Groups:  [][2]int{{0, 1}},
+		Reads:   reads,
+		Defs:    defs,
+		AWriter: awriter,
+	}
+}
+
+// Implicit reads must intersect across witnesses: a call witnessed at
+// two arities claims only the argument registers every witness read.
+func TestBuildAttribImplicitReadIntersection(t *testing.T) {
+	m := fpModel()
+	call := instr("xcall", discovery.Operand{Text: "P", Kind: discovery.KSym, Sym: "P"})
+	analyses := map[string]*mutate.Analysis{
+		"s1": oneGroup(call, map[string][]int{"r1": {0}, "r2": {0}}, map[string][]int{"r1": {0}}, -1),
+		"s2": oneGroup(call, map[string][]int{"r1": {0}}, map[string][]int{"r2": {0}}, -1),
+	}
+	at := BuildAttrib(m, analyses, Slots{A: "8(fp)"})
+	sa := at.Sigs[call.Signature()]
+	if sa == nil {
+		t.Fatalf("no attribution for %q", call.Signature())
+	}
+	if !reflect.DeepEqual(sa.ImplicitReads, []string{"r1"}) {
+		t.Errorf("implicit reads = %v, want intersection [r1]", sa.ImplicitReads)
+	}
+	if !reflect.DeepEqual(sa.ImplicitDefs, []string{"r1", "r2"}) {
+		t.Errorf("implicit defs = %v, want union [r1 r2]", sa.ImplicitDefs)
+	}
+	if sa.Witnesses != 2 {
+		t.Errorf("witnesses = %d, want 2", sa.Witnesses)
+	}
+}
+
+// A witness whose output cell aliases several operand positions cannot
+// tell which position wrote: it must contribute no memory-writer
+// attribution. An unaliased witness of the same signature pins it.
+func TestBuildAttribAliasedWriterSkipped(t *testing.T) {
+	m := fpModel()
+	slots := Slots{A: "8(fp)", B: "12(fp)", C: "16(fp)"}
+	aliased := oneGroup(instr("xadd3", mem("8(fp)"), mem("12(fp)"), mem("8(fp)")),
+		map[string][]int{}, map[string][]int{}, 0)
+	at := BuildAttrib(m, map[string]*mutate.Analysis{"alias": aliased}, slots)
+	sa := at.Sigs["xadd3:mem,mem,mem"]
+	for i, w := range sa.MemWriteAt {
+		if w {
+			t.Errorf("aliased witness attributed a memory writer at position %d", i)
+		}
+	}
+
+	exact := oneGroup(instr("xadd3", mem("12(fp)"), mem("16(fp)"), mem("8(fp)")),
+		map[string][]int{}, map[string][]int{}, 0)
+	at = BuildAttrib(m, map[string]*mutate.Analysis{"alias": aliased, "exact": exact}, slots)
+	sa = at.Sigs["xadd3:mem,mem,mem"]
+	if !reflect.DeepEqual(sa.MemWriteAt, []bool{false, false, true}) {
+		t.Errorf("MemWriteAt = %v, want writer only at position 2", sa.MemWriteAt)
+	}
+}
+
+// Footprint mirrors Build's port wiring: attributed positions read and
+// write, silent positions fall back to the flow default (read if
+// defined earlier, else write), and unknown signatures land in Unknown
+// without contributing effects.
+func TestFootprintFlowDefaultAndUnknown(t *testing.T) {
+	m := fpModel()
+	at := &AttribTable{Sigs: map[string]*SigAttrib{
+		"xld:reg,mem": {Sig: "xld:reg,mem", NArgs: 2,
+			PosRead: []bool{false, false}, PosWrite: []bool{true, false},
+			MemWriteAt: []bool{false, false}},
+		"xmv:reg,reg": {Sig: "xmv:reg,reg", NArgs: 2,
+			PosRead: []bool{false, false}, PosWrite: []bool{false, false},
+			MemWriteAt: []bool{false, false}},
+	}, ExternalIn: map[string]bool{}}
+	fp := at.Footprint(m, []discovery.Instr{
+		instr("xld", reg("r1"), mem("8(fp)")),
+		// Both positions silent: r1 was defined (read default), r2 was
+		// not (write default).
+		instr("xmv", reg("r2"), reg("r1")),
+		instr("xmystery", reg("r2")),
+	})
+	if fp.Known != 2 || !reflect.DeepEqual(fp.Unknown, []string{"xmystery:reg"}) {
+		t.Errorf("known=%d unknown=%v, want 2 known and [xmystery:reg]", fp.Known, fp.Unknown)
+	}
+	if !fp.MemReads["8(fp)"] || len(fp.MemReads) != 1 {
+		t.Errorf("mem reads = %v, want {8(fp)}", fp.MemReads)
+	}
+	if len(fp.MemWrites) != 0 {
+		t.Errorf("mem writes = %v, want none", fp.MemWrites)
+	}
+	if len(fp.ExtReads) != 0 {
+		t.Errorf("external reads = %v, want none (r1 defined in-sequence)", fp.ExtReads)
+	}
+	if !fp.RegWrites["r1"] || !fp.RegWrites["r2"] {
+		t.Errorf("reg writes = %v, want {r1, r2}", fp.RegWrites)
+	}
+}
+
+// A register consumed before any in-sequence definition is an external
+// read; hardwired registers are constants and never ports.
+func TestFootprintExternalAndHardwired(t *testing.T) {
+	m := fpModel()
+	m.Hardwired["r2"] = 0
+	at := &AttribTable{Sigs: map[string]*SigAttrib{
+		"xst:reg,mem": {Sig: "xst:reg,mem", NArgs: 2,
+			PosRead: []bool{true, false}, PosWrite: []bool{false, false},
+			MemWriteAt: []bool{false, true}},
+		"xadd:reg,reg": {Sig: "xadd:reg,reg", NArgs: 2,
+			PosRead: []bool{true, true}, PosWrite: []bool{true, false},
+			MemWriteAt: []bool{false, false}},
+	}, ExternalIn: map[string]bool{}}
+	fp := at.Footprint(m, []discovery.Instr{
+		instr("xadd", reg("r1"), reg("r2")),
+		instr("xst", reg("r1"), mem("8(fp)")),
+	})
+	if !fp.ExtReads["r1"] {
+		t.Errorf("r1 read before definition not surfaced: %v", fp.ExtReads)
+	}
+	if fp.ExtReads["r2"] || fp.RegWrites["r2"] {
+		t.Errorf("hardwired r2 treated as a port: reads=%v writes=%v", fp.ExtReads, fp.RegWrites)
+	}
+	if !fp.MemWrites["8(fp)"] {
+		t.Errorf("store not attributed: %v", fp.MemWrites)
+	}
+}

@@ -17,3 +17,12 @@ func ClassifyText(m *discovery.Model, text string) discovery.Operand {
 	classifyOperand(m, nil, &a)
 	return a
 }
+
+// ClassifyTextIn classifies one operand text with a label context, so a
+// rendered template's branch target classifies as a label reference (as
+// it would inside a sample) instead of an external symbol.
+func ClassifyTextIn(m *discovery.Model, labels map[string]bool, text string) discovery.Operand {
+	a := discovery.Operand{Text: text}
+	classifyOperand(m, labels, &a)
+	return a
+}

@@ -287,6 +287,39 @@ func TestFlushEmitsCountersAndHists(t *testing.T) {
 	}
 }
 
+// TestGaugeAbsoluteAndUnsealed pins gauge semantics: Gauge sets an
+// absolute level (no accumulation), the level is visible through
+// Counter()/Counters(), and unsealed names — the probe.cache_* occupancy
+// gauges among them — never reach the Flush tail, so a warm-cache run
+// flushes the same stream as the cold run that filled the cache.
+func TestGaugeAbsoluteAndUnsealed(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(nil, NewJSONLSink(&buf))
+	tr.Gauge("probe.cache_entries", 4)
+	tr.Gauge("probe.cache_entries", 7) // re-set, not += — occupancy is a level
+	tr.Gauge("probe.cache_bytes", 1024)
+	tr.Count("sealed.work", 1)
+	if v := tr.Counter("probe.cache_entries"); v != 7 {
+		t.Errorf("gauge = %d, want the latest level 7", v)
+	}
+	names := map[string]bool{}
+	for _, cs := range tr.Counters() {
+		names[cs.Name] = true
+	}
+	if !names["probe.cache_entries"] || !names["probe.cache_bytes"] {
+		t.Errorf("gauges missing from Counters(): %v", names)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "probe.cache_") {
+		t.Errorf("unsealed gauge leaked into the Flush tail:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "sealed.work") {
+		t.Errorf("sealed counter missing from the Flush tail:\n%s", buf.String())
+	}
+}
+
 // TestFormatPhaseTable pins the summary rendering contract: empty input
 // renders "", and shares sum to 100%.
 func TestFormatPhaseTable(t *testing.T) {

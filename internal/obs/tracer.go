@@ -258,6 +258,20 @@ func (t *Tracer) Count(name string, delta int64) {
 	t.mu.Unlock()
 }
 
+// Gauge sets a named counter to an absolute value — occupancy-style
+// telemetry (cache entries, resident bytes) where the latest level, not
+// an accumulated delta, is the fact. Gauges live in the counter table,
+// so Unsealed naming rules decide their trace visibility like any
+// counter's.
+func (t *Tracer) Gauge(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] = v
+	t.mu.Unlock()
+}
+
 // Counter reads a named counter (0 if never written).
 func (t *Tracer) Counter(name string) int64 {
 	if t == nil {

@@ -53,43 +53,84 @@ func ParseTrajectory(data []byte) (*Trajectory, error) {
 // Last returns the most recent run.
 func (t *Trajectory) Last() TrajectoryRun { return t.Runs[len(t.Runs)-1] }
 
+// Delta statuses: a row compared against a baseline carries the empty
+// status; a target or phase present in only one run is reported as
+// added (new run only) or removed (baseline only) instead of being
+// silently dropped — a renamed phase or a new target in a trajectory
+// is itself a finding.
+const (
+	DeltaAdded   = "added"
+	DeltaRemoved = "removed"
+)
+
 // Delta is one compared measurement. Phase is "" for the whole-run
 // ns_per_op row. Ratio is new/old; Regressed marks ratios beyond the
-// diff threshold.
+// diff threshold. Status is "" for compared rows, DeltaAdded/DeltaRemoved
+// for baseline-free rows (which are never Regressed — there is nothing
+// to regress against).
 type Delta struct {
 	Target    string
 	Phase     string
 	Old, New  float64
 	Ratio     float64
 	Regressed bool
+	Status    string
 }
 
 // DiffRuns compares two runs target by target and phase by phase.
 // threshold is the regression ratio margin: a measurement counts as
 // regressed when new > old*(1+threshold). Targets or phases present in
-// only one run are skipped (they have no baseline); the deltas come
-// back sorted by target then phase, whole-run rows first.
+// only one run become added/removed rows; the deltas come back sorted
+// by target then phase, whole-run rows first.
 func DiffRuns(old, new TrajectoryRun, threshold float64) []Delta {
 	var out []Delta
-	targets := make([]string, 0, len(new.Results))
+	targetSet := map[string]bool{}
+	for name := range old.Results {
+		targetSet[name] = true
+	}
 	for name := range new.Results {
-		if _, ok := old.Results[name]; ok {
-			targets = append(targets, name)
-		}
+		targetSet[name] = true
+	}
+	targets := make([]string, 0, len(targetSet))
+	for name := range targetSet {
+		targets = append(targets, name)
 	}
 	sort.Strings(targets)
 	for _, name := range targets {
-		o, n := old.Results[name], new.Results[name]
+		o, inOld := old.Results[name]
+		n, inNew := new.Results[name]
+		switch {
+		case !inOld:
+			out = append(out, Delta{Target: name, New: n.NsPerOp, Ratio: 1, Status: DeltaAdded})
+			continue
+		case !inNew:
+			out = append(out, Delta{Target: name, Old: o.NsPerOp, Ratio: 1, Status: DeltaRemoved})
+			continue
+		}
 		out = append(out, makeDelta(name, "", o.NsPerOp, n.NsPerOp, threshold))
-		phases := make([]string, 0, len(n.Phases))
+		phaseSet := map[string]bool{}
+		for ph := range o.Phases {
+			phaseSet[ph] = true
+		}
 		for ph := range n.Phases {
-			if _, ok := o.Phases[ph]; ok {
-				phases = append(phases, ph)
-			}
+			phaseSet[ph] = true
+		}
+		phases := make([]string, 0, len(phaseSet))
+		for ph := range phaseSet {
+			phases = append(phases, ph)
 		}
 		sort.Strings(phases)
 		for _, ph := range phases {
-			out = append(out, makeDelta(name, ph, o.Phases[ph], n.Phases[ph], threshold))
+			ov, inO := o.Phases[ph]
+			nv, inN := n.Phases[ph]
+			switch {
+			case !inO:
+				out = append(out, Delta{Target: name, Phase: ph, New: nv, Ratio: 1, Status: DeltaAdded})
+			case !inN:
+				out = append(out, Delta{Target: name, Phase: ph, Old: ov, Ratio: 1, Status: DeltaRemoved})
+			default:
+				out = append(out, makeDelta(name, ph, ov, nv, threshold))
+			}
 		}
 	}
 	return out
@@ -131,6 +172,16 @@ func FormatDiff(deltas []Delta) string {
 		label := d.Target
 		if d.Phase != "" {
 			label = "  " + d.Phase
+		}
+		switch d.Status {
+		case DeltaAdded:
+			fmt.Fprintf(&sb, "%-28s %12s -> %12.1fms  (no baseline: added)\n",
+				label, "-", d.New/1e6)
+			continue
+		case DeltaRemoved:
+			fmt.Fprintf(&sb, "%-28s %12.1fms -> %12s  (gone in new run: removed)\n",
+				label, d.Old/1e6, "-")
+			continue
 		}
 		tag := ""
 		if d.Regressed {

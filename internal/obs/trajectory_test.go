@@ -60,18 +60,39 @@ func TestDiffRunsFlagsSyntheticRegression(t *testing.T) {
 // TestDiffRunsEdgeCases pins baseline-free and zero-old behavior.
 func TestDiffRunsEdgeCases(t *testing.T) {
 	old := TrajectoryRun{Results: map[string]TrajectoryResult{
-		"a": {NsPerOp: 100, Phases: map[string]float64{"p": 0}},
+		"a": {NsPerOp: 100, Phases: map[string]float64{"p": 0, "r": 7}},
+		"z": {NsPerOp: 5},
 	}}
 	new := TrajectoryRun{Results: map[string]TrajectoryResult{
 		"a": {NsPerOp: 100, Phases: map[string]float64{"p": 50, "q": 10}},
 		"b": {NsPerOp: 999},
 	}}
 	deltas := DiffRuns(old, new, 0.10)
-	// Target b and phase q have no baseline: skipped.
+	// Target b and phase q have no baseline: reported as added rows, not
+	// silently dropped, and never flagged as regressions.
+	status := map[string]string{}
 	for _, d := range deltas {
-		if d.Target == "b" || d.Phase == "q" {
-			t.Errorf("baseline-free row not skipped: %+v", d)
+		status[d.Target+"|"+d.Phase] = d.Status
+		if d.Status != "" && d.Regressed {
+			t.Errorf("baseline-free row flagged regressed: %+v", d)
 		}
+	}
+	if status["b|"] != DeltaAdded {
+		t.Errorf("new target b: status = %q, want %q", status["b|"], DeltaAdded)
+	}
+	if status["a|q"] != DeltaAdded {
+		t.Errorf("new phase q: status = %q, want %q", status["a|q"], DeltaAdded)
+	}
+	if status["z|"] != DeltaRemoved {
+		t.Errorf("gone target z: status = %q, want %q", status["z|"], DeltaRemoved)
+	}
+	if status["a|r"] != DeltaRemoved {
+		t.Errorf("gone phase r: status = %q, want %q", status["a|r"], DeltaRemoved)
+	}
+	// The rendering marks baseline-free rows instead of inventing ratios.
+	rendered := FormatDiff(deltas)
+	if !strings.Contains(rendered, "added") || !strings.Contains(rendered, "removed") {
+		t.Errorf("FormatDiff does not mark added/removed rows:\n%s", rendered)
 	}
 	// Phase p went 0 -> 50: infinite ratio, regressed.
 	found := false

@@ -32,6 +32,13 @@ const (
 	CtrCacheMisses = "probe.cache_misses"
 )
 
+// Occupancy gauges (also unsealed): how full the cache is at the end of
+// a run — the numbers an LRU bound will be set against.
+const (
+	CtrCacheEntries = "probe.cache_entries"
+	CtrCacheBytes   = "probe.cache_bytes"
+)
+
 // entryKey addresses one memoized logical probe by operation, resilience
 // policy, and the full content flowing into the probe.
 type entryKey struct {
@@ -64,6 +71,9 @@ type Cache struct {
 	entries map[entryKey]*cacheEntry
 	units   map[*asm.Unit]string
 	images  map[*asm.Image]string
+	// bytes approximates the resident size of the memo: key strings plus
+	// memoized string values, maintained on first-write in store.
+	bytes int64
 }
 
 // NewCache returns an empty probe cache.
@@ -82,6 +92,17 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// Bytes reports the approximate resident size of the memo in bytes: the
+// content-address keys plus memoized string outputs. Handles and replay
+// bundles are not sized — the keys carry the whole sample and assembly
+// texts and dominate; the number is a capacity-planning gauge, not an
+// accounting of the allocator.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 func (c *Cache) lookup(k entryKey) (*cacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -97,6 +118,10 @@ func (c *Cache) store(k entryKey, e *cacheEntry) {
 	c.mu.Lock()
 	if _, ok := c.entries[k]; !ok {
 		c.entries[k] = e
+		c.bytes += int64(len(k.op) + len(k.policy) + len(k.payload))
+		if s, ok := e.val.(string); ok {
+			c.bytes += int64(len(s))
+		}
 	}
 	c.mu.Unlock()
 }

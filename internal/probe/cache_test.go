@@ -176,6 +176,72 @@ func TestCacheRefusesUnquietOutcomes(t *testing.T) {
 	}
 }
 
+// TestCacheOccupancyAccounting pins the Len/Bytes gauges the core report
+// surfaces as probe.cache_entries / probe.cache_bytes: the cold chain
+// leaves four memoized probes and a byte figure sized from the
+// content-address keys plus memoized string outputs, a warm replay adds
+// nothing, and first-write-wins never double-counts a key.
+func TestCacheOccupancyAccounting(t *testing.T) {
+	cache := NewCache()
+	c := cfg(8, 7)
+	c.Cache = cache
+	chain := func(tc *scripted) {
+		p := New(tc, c)
+		text, err := p.CompileC("main(){}")
+		if err != nil {
+			t.Fatalf("CompileC: %v", err)
+		}
+		u, err := p.Assemble(text)
+		if err != nil {
+			t.Fatalf("Assemble: %v", err)
+		}
+		img, err := p.Link([]*asm.Unit{u})
+		if err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+		if _, err := p.Execute(img); err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+	}
+	chain(&scripted{
+		compile:  []step{{out: "mov a, b"}},
+		assemble: []step{{}},
+		link:     []step{{}},
+		execute:  []step{{out: "42\n"}, {out: "42\n"}},
+	})
+	if cache.Len() != 4 {
+		t.Fatalf("cold chain memoized %d probes, want 4", cache.Len())
+	}
+	occupied := cache.Bytes()
+	// The keys carry the whole C source and assembly text; the figure must
+	// at least cover those plus the memoized outputs.
+	if floor := int64(len("main(){}") + 2*len("mov a, b") + 2*len("42\n")); occupied < floor {
+		t.Errorf("Bytes() = %d, want at least %d (keys + string values)", occupied, floor)
+	}
+
+	// A warm replay (empty scripts: any physical call panics) is pure hits
+	// and must leave the occupancy untouched.
+	chain(&scripted{})
+	if cache.Len() != 4 || cache.Bytes() != occupied {
+		t.Errorf("warm replay changed occupancy: len=%d bytes=%d, want 4/%d",
+			cache.Len(), cache.Bytes(), occupied)
+	}
+
+	// First write wins, and so does its size: re-storing an occupied key —
+	// two workers racing on the same probe — must not grow the figure.
+	k := entryKey{op: "op", policy: "pol", payload: "xyz"}
+	cache.store(k, &cacheEntry{val: "v"})
+	grown := cache.Bytes() - occupied
+	if want := int64(len("op") + len("pol") + len("xyz") + len("v")); grown != want {
+		t.Errorf("storing one entry grew Bytes by %d, want %d", grown, want)
+	}
+	cache.store(k, &cacheEntry{val: "a much longer losing value"})
+	if cache.Len() != 5 || cache.Bytes() != occupied+grown {
+		t.Errorf("second store of an occupied key changed occupancy: len=%d bytes=%d",
+			cache.Len(), cache.Bytes())
+	}
+}
+
 // TestCacheKeyIncludesPolicy: the same probe under a different resilience
 // policy is a different key — a 2-of-7 quorum's accepted output must not
 // answer a 1-of-1 prober.
